@@ -1,0 +1,77 @@
+// Extension bench: snapshot distillation vs experience replay for the CFE.
+//
+// The paper argues for its latent-regularization L_CL because it "does not
+// require [the model] to save any data, which can significantly reduce
+// storage overhead". This bench quantifies the other side of that trade:
+// the same CFE with a reservoir replay buffer instead of snapshots, at
+// several buffer sizes, reporting quality and what each variant must store.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "data/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cnd;
+  bench::BenchOptions opt = bench::parse_options(argc, argv);
+  if (opt.size_scale > 0.25) opt.size_scale = 0.25;
+
+  std::printf("=== Extension: snapshot L_CL vs replay rehearsal (X-IIoTID) ===\n\n");
+  std::printf("  %-22s %8s %10s %10s %14s\n", "variant", "AVG", "FwdTrans",
+              "BwdTrans", "stored");
+
+  data::Dataset ds = data::make_x_iiotid(opt.seed, opt.size_scale);
+  const data::ExperienceSet es = bench::make_experience_set(ds, opt.seed);
+  const std::size_t m = es.size();
+
+  std::vector<std::vector<double>> csv;
+  std::vector<std::string> labels;
+
+  {
+    core::CndIdsConfig cfg = bench::paper_cnd_config(opt.seed);
+    core::CndIds det(cfg);
+    const core::RunResult r = core::run_protocol(det, es, {.seed = opt.seed});
+    // Snapshots store one encoder per experience: 2 weight matrices each.
+    const std::size_t params =
+        m * (ds.n_features() * cfg.cfe.hidden_dim +
+             cfg.cfe.hidden_dim * cfg.cfe.latent_dim);
+    std::printf("  %-22s %8.4f %10.4f %+10.4f %11zu dbl   <- paper\n",
+                "snapshots (paper)", r.avg(), r.fwd(), r.bwd(), params);
+    csv.push_back({r.avg(), r.fwd(), r.bwd(), static_cast<double>(params)});
+    labels.push_back("snapshots");
+  }
+
+  for (std::size_t cap : {128, 512, 2048}) {
+    core::CndIdsConfig cfg = bench::paper_cnd_config(opt.seed);
+    cfg.cfe.cl_mode = core::ClMode::kReplay;
+    cfg.cfe.replay_capacity = cap;
+    core::CndIds det(cfg);
+    const core::RunResult r = core::run_protocol(det, es, {.seed = opt.seed});
+    const std::size_t stored = cap * ds.n_features();
+    std::printf("  replay cap=%-11zu %8.4f %10.4f %+10.4f %11zu dbl\n", cap,
+                r.avg(), r.fwd(), r.bwd(), stored);
+    std::fflush(stdout);
+    csv.push_back({r.avg(), r.fwd(), r.bwd(), static_cast<double>(stored)});
+    labels.push_back("replay_" + std::to_string(cap));
+  }
+
+  {
+    core::CndIdsConfig cfg = bench::paper_cnd_config(opt.seed);
+    cfg.cfe.cl_mode = core::ClMode::kEwc;
+    core::CndIds det(cfg);
+    const core::RunResult r = core::run_protocol(det, es, {.seed = opt.seed});
+    // EWC stores one Fisher diagonal + one anchor (2x the parameter count).
+    const std::size_t params =
+        2 * (ds.n_features() * cfg.cfe.hidden_dim +
+             cfg.cfe.hidden_dim * cfg.cfe.latent_dim) * 2;
+    std::printf("  %-22s %8.4f %10.4f %+10.4f %11zu dbl\n", "EWC (online)",
+                r.avg(), r.fwd(), r.bwd(), params);
+    csv.push_back({r.avg(), r.fwd(), r.bwd(), static_cast<double>(params)});
+    labels.push_back("ewc");
+  }
+
+  data::save_table_csv("ablation_clmode.csv",
+                       {"variant", "avg", "fwd", "bwd", "stored_doubles"}, csv,
+                       labels);
+  std::printf("Wrote ablation_clmode.csv\n");
+  return 0;
+}

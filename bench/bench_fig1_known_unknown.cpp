@@ -1,0 +1,131 @@
+// Reproduces Fig. 1: state-of-the-art supervised ML-IDS performance on known
+// versus unknown (zero-day) attacks.
+//
+// A supervised MLP classifier is trained with full labels on the attack
+// families of the first experiences ("known" attacks) and evaluated on
+// (a) held-out flows of those same families and (b) flows of families it has
+// never seen ("unknown"). Paper shape to reproduce: high F1 on known attacks
+// and a drastic collapse on unknown ones — the motivation for label-free
+// continual novelty detection.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "data/csv.hpp"
+#include "eval/metrics.hpp"
+#include "ml/random_forest.hpp"
+#include "ml/scaler.hpp"
+#include "nn/mlp_classifier.hpp"
+
+namespace {
+
+using namespace cnd;
+
+struct KnownUnknown {
+  double mlp_known = 0.0;
+  double mlp_unknown = 0.0;
+  double rf_known = 0.0;
+  double rf_unknown = 0.0;
+};
+
+/// Train on labeled flows of the first ~half of the attack families plus
+/// normal traffic, then evaluate on held-out known-family flows and on
+/// entirely unseen families.
+KnownUnknown run_dataset(const data::Dataset& ds, std::uint64_t seed) {
+  Rng rng(seed);
+  const int known_cutoff = static_cast<int>(ds.n_attack_classes() / 2);
+
+  std::vector<std::size_t> train_idx, known_test_idx, unknown_test_idx;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const int cls = ds.attack_class[i];
+    if (cls >= known_cutoff) {
+      // Unseen families: test only. Mix in normal rows below for a
+      // realistic test prevalence.
+      unknown_test_idx.push_back(i);
+      continue;
+    }
+    // Normal rows and known families: 70/30 train/test.
+    if (rng.bernoulli(0.7))
+      train_idx.push_back(i);
+    else
+      known_test_idx.push_back(i);
+  }
+  // The unknown-attack test set needs benign traffic too; borrow the normal
+  // rows of the known test split.
+  std::vector<std::size_t> unknown_full = unknown_test_idx;
+  for (std::size_t i : known_test_idx)
+    if (ds.y[i] == 0) unknown_full.push_back(i);
+
+  const data::Dataset train = ds.take(train_idx);
+  const data::Dataset known = ds.take(known_test_idx);
+  const data::Dataset unknown = ds.take(unknown_full);
+
+  ml::StandardScaler scaler;
+  Matrix xtr = scaler.fit_transform(train.x);
+
+  std::vector<std::size_t> ytr(train.size());
+  for (std::size_t i = 0; i < train.size(); ++i)
+    ytr[i] = static_cast<std::size_t>(train.y[i]);
+
+  nn::MlpClassifier clf({.input_dim = ds.n_features(),
+                         .hidden_dim = 128,
+                         .n_classes = 2,
+                         .epochs = 15,
+                         .batch_size = 128,
+                         .lr = 1e-3},
+                        rng);
+  clf.fit(xtr, ytr);
+
+  ml::RandomForest forest({.n_trees = 40, .max_depth = 12});
+  forest.fit(xtr, ytr, 2, rng);
+
+  auto f1_of = [&](const std::vector<std::size_t>& pred, const data::Dataset& d) {
+    std::vector<int> p(pred.size());
+    for (std::size_t i = 0; i < pred.size(); ++i) p[i] = static_cast<int>(pred[i]);
+    return eval::f1_score(p, d.y);
+  };
+  KnownUnknown out;
+  out.mlp_known = f1_of(clf.predict(scaler.transform(known.x)), known);
+  out.mlp_unknown = f1_of(clf.predict(scaler.transform(unknown.x)), unknown);
+  out.rf_known = f1_of(forest.predict(scaler.transform(known.x)), known);
+  out.rf_unknown = f1_of(forest.predict(scaler.transform(unknown.x)), unknown);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cnd;
+  const bench::BenchOptions opt = bench::parse_options(argc, argv);
+
+  std::printf("=== Fig. 1: Supervised ML-IDS on known vs unknown attacks ===\n");
+  std::printf("(scale=%.2f seed=%llu)\n\n", opt.size_scale,
+              static_cast<unsigned long long>(opt.seed));
+  std::printf("  %-12s %10s %12s %10s %12s\n", "dataset", "MLP known",
+              "MLP unknown", "RF known", "RF unknown");
+
+  std::vector<std::vector<double>> csv;
+  std::vector<std::string> labels;
+  double worst_ratio = 1.0;
+  for (data::Dataset& ds : data::make_all_paper_datasets(opt.seed, opt.size_scale)) {
+    const KnownUnknown r = run_dataset(ds, opt.seed);
+    worst_ratio = std::min({worst_ratio,
+                            r.mlp_unknown / std::max(r.mlp_known, 1e-9),
+                            r.rf_unknown / std::max(r.rf_known, 1e-9)});
+    std::printf("  %-12s %10.4f %12.4f %10.4f %12.4f\n", ds.name.c_str(),
+                r.mlp_known, r.mlp_unknown, r.rf_known, r.rf_unknown);
+    csv.push_back({r.mlp_known, r.mlp_unknown, r.rf_known, r.rf_unknown});
+    labels.push_back(ds.name);
+  }
+  std::printf("\nBoth supervised models keep high F1 on trained families and collapse\n"
+              "on unseen ones (worst retention %.0f%% of known-attack F1) — the\n"
+              "paper's Fig. 1 motivation for label-free continual novelty detection.\n",
+              100.0 * worst_ratio);
+
+  data::save_table_csv("fig1_known_unknown.csv",
+                       {"dataset", "mlp_known", "mlp_unknown", "rf_known",
+                        "rf_unknown"},
+                       csv, labels);
+  std::printf("Wrote fig1_known_unknown.csv\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Reproduces Fig. 3 and Table II: continual-learning metrics (AVG, FwdTrans,
+// BwdTrans) of ADCN, LwF, and CND-IDS on all four datasets, plus CND-IDS's
+// improvement ratios over the two UCL baselines.
+//
+// Paper shape to reproduce: CND-IDS best AVG and FwdTrans on every dataset;
+// best BwdTrans on all but UNSW-NB15; average BwdTrans of CND-IDS positive
+// (+0.87% in the paper) vs ~0 for ADCN (-0.06%) and LwF (+0.09%).
+// Table II ratios: up to 4.50x/6.47x over ADCN, 6.11x/3.47x over LwF;
+// averaged 1.88x/2.63x (ADCN) and 1.78x/1.60x (LwF).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "data/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cnd;
+  const bench::BenchOptions opt = bench::parse_options(argc, argv);
+
+  std::printf("=== Fig. 3 / Table II: CL metrics of ADCN, LwF, CND-IDS ===\n");
+  std::printf("(scale=%.2f seed=%llu)\n\n", opt.size_scale,
+              static_cast<unsigned long long>(opt.seed));
+
+  struct Row {
+    std::string dataset;
+    core::RunResult adcn, lwf, cnd;
+  };
+  std::vector<Row> rows;
+
+  for (data::Dataset& ds : data::make_all_paper_datasets(opt.seed, opt.size_scale)) {
+    const data::ExperienceSet es = bench::make_experience_set(ds, opt.seed);
+
+    baselines::Adcn adcn(bench::paper_adcn_config(opt.seed));
+    baselines::Lwf lwf(bench::paper_lwf_config(opt.seed));
+    core::CndIds cnd(bench::paper_cnd_config(opt.seed));
+
+    Row r{ds.name,
+          core::run_protocol(adcn, es, {.seed = opt.seed, .verbose = opt.verbose}),
+          core::run_protocol(lwf, es, {.seed = opt.seed, .verbose = opt.verbose}),
+          core::run_protocol(cnd, es, {.seed = opt.seed, .verbose = opt.verbose})};
+
+    std::printf("%s:\n", ds.name.c_str());
+    std::printf("  %-10s %8s %10s %10s\n", "method", "AVG", "FwdTrans", "BwdTrans");
+    for (const auto* res : {&r.adcn, &r.lwf, &r.cnd})
+      std::printf("  %-10s %8.4f %10.4f %+10.4f\n", res->detector_name.c_str(),
+                  res->avg(), res->fwd(), res->bwd());
+    std::printf("\n");
+    rows.push_back(std::move(r));
+  }
+
+  // Table II: improvement ratios of CND-IDS over the UCL baselines.
+  std::printf("Table II: CND-IDS improvement over UCL baselines\n");
+  std::printf("  %-10s %-12s %10s %10s\n", "baseline", "dataset", "AVG", "FwdTrans");
+  double sum_avg_adcn = 0.0, sum_fwd_adcn = 0.0, sum_avg_lwf = 0.0, sum_fwd_lwf = 0.0;
+  for (const auto& r : rows) {
+    const double ia = r.cnd.avg() / std::max(r.adcn.avg(), 1e-9);
+    const double fa = r.cnd.fwd() / std::max(r.adcn.fwd(), 1e-9);
+    std::printf("  %-10s %-12s %9.2fx %9.2fx\n", "ADCN", r.dataset.c_str(), ia, fa);
+    sum_avg_adcn += ia;
+    sum_fwd_adcn += fa;
+  }
+  for (const auto& r : rows) {
+    const double il = r.cnd.avg() / std::max(r.lwf.avg(), 1e-9);
+    const double fl = r.cnd.fwd() / std::max(r.lwf.fwd(), 1e-9);
+    std::printf("  %-10s %-12s %9.2fx %9.2fx\n", "LwF", r.dataset.c_str(), il, fl);
+    sum_avg_lwf += il;
+    sum_fwd_lwf += fl;
+  }
+  const double n = static_cast<double>(rows.size());
+  std::printf("\nAveraged improvement: %.2fx AVG / %.2fx Fwd over ADCN "
+              "(paper: 1.88x / 2.63x); %.2fx AVG / %.2fx Fwd over LwF "
+              "(paper: 1.78x / 1.60x)\n",
+              sum_avg_adcn / n, sum_fwd_adcn / n, sum_avg_lwf / n, sum_fwd_lwf / n);
+
+  double bwd_adcn = 0.0, bwd_lwf = 0.0, bwd_cnd = 0.0;
+  for (const auto& r : rows) {
+    bwd_adcn += r.adcn.bwd();
+    bwd_lwf += r.lwf.bwd();
+    bwd_cnd += r.cnd.bwd();
+  }
+  std::printf("Average BwdTrans: ADCN %+0.4f (paper -0.0006), LwF %+0.4f "
+              "(paper +0.0009), CND-IDS %+0.4f (paper +0.0087)\n",
+              bwd_adcn / n, bwd_lwf / n, bwd_cnd / n);
+
+  std::vector<std::vector<double>> csv;
+  std::vector<std::string> labels;
+  for (const auto& r : rows)
+    for (const auto* res : {&r.adcn, &r.lwf, &r.cnd}) {
+      labels.push_back(r.dataset + "/" + res->detector_name);
+      csv.push_back({res->avg(), res->fwd(), res->bwd()});
+    }
+  data::save_table_csv("fig3_cl_comparison.csv",
+                       {"dataset_method", "avg", "fwd_trans", "bwd_trans"}, csv,
+                       labels);
+  std::printf("Wrote fig3_cl_comparison.csv\n");
+  return 0;
+}

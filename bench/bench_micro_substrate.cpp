@@ -1,0 +1,91 @@
+// Micro-benchmarks of the substrate hot paths: dense matmul, Jacobi
+// eigendecomposition, a K-Means Lloyd pass, one autoencoder training epoch,
+// and PCA FRE scoring throughput. These bound the cost model for every
+// experiment bench in this repository.
+#include <benchmark/benchmark.h>
+
+#include "linalg/eigen.hpp"
+#include "ml/kmeans.hpp"
+#include "ml/pca.hpp"
+#include "nn/autoencoder.hpp"
+#include "nn/losses.hpp"
+#include "nn/optimizer.hpp"
+#include "tensor/rng.hpp"
+
+namespace {
+
+using namespace cnd;
+
+Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i)
+    for (auto& v : m.row(i)) v = rng.normal();
+  return m;
+}
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Matrix a = random_matrix(n, n, 1);
+  Matrix b = random_matrix(n, n, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(matmul(a, b));
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_JacobiEigen(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Matrix b = random_matrix(n, n, 3);
+  Matrix a = matmul_at(b, b);
+  for (auto _ : state) benchmark::DoNotOptimize(linalg::eigen_symmetric(a));
+}
+BENCHMARK(BM_JacobiEigen)->Arg(32)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_KMeansFit(benchmark::State& state) {
+  Matrix x = random_matrix(2000, 32, 4);
+  for (auto _ : state) {
+    Rng rng(5);
+    ml::KMeans km({.k = 12, .max_iters = 20});
+    km.fit(x, rng);
+    benchmark::DoNotOptimize(km.centroids());
+  }
+}
+BENCHMARK(BM_KMeansFit)->Unit(benchmark::kMillisecond);
+
+void BM_AutoencoderEpoch(benchmark::State& state) {
+  Rng rng(6);
+  nn::Autoencoder ae({.input_dim = 48, .hidden_dim = 256, .latent_dim = 256}, rng);
+  nn::Adam opt(1e-3);
+  Matrix x = random_matrix(1024, 48, 7);
+  for (auto _ : state) {
+    for (std::size_t start = 0; start < x.rows(); start += 128) {
+      std::vector<std::size_t> idx;
+      for (std::size_t i = start; i < start + 128; ++i) idx.push_back(i);
+      Matrix xb = x.take_rows(idx);
+      ae.zero_grad();
+      Matrix h = ae.encoder().forward(xb, true);
+      Matrix xhat = ae.decoder().forward(h, true);
+      nn::LossGrad lg = nn::mse_loss(xhat, xb);
+      Matrix gh = ae.decoder().backward(lg.grad);
+      ae.encoder().backward(gh);
+      opt.step(ae.params());
+    }
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_AutoencoderEpoch)->Unit(benchmark::kMillisecond);
+
+void BM_PcaFreScore(benchmark::State& state) {
+  Matrix train = random_matrix(1000, 48, 8);
+  ml::Pca pca({.explained_variance = 0.95});
+  pca.fit(train);
+  Matrix test = random_matrix(4096, 48, 9);
+  for (auto _ : state) benchmark::DoNotOptimize(pca.score(test));
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_PcaFreScore)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Extension bench: statistical robustness of the headline comparison.
+//
+// The paper reports single runs; this bench repeats the Fig. 4 core
+// comparison (PCA, DIF, CND-IDS) over several seeds and reports mean and
+// standard deviation per dataset, so the orderings can be read with error
+// bars. Expect the CND-IDS-first ordering to hold on the means with
+// occasional per-seed inversions on the closest pairs.
+#include <cstdio>
+#include <cmath>
+#include <map>
+
+#include "bench_common.hpp"
+#include "data/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cnd;
+  bench::BenchOptions opt = bench::parse_options(argc, argv);
+  if (opt.size_scale > 0.25) opt.size_scale = 0.25;
+  const std::vector<std::uint64_t> seeds{opt.seed, opt.seed + 101, opt.seed + 202};
+
+  std::printf("=== Extension: Fig. 4 core comparison over %zu seeds ===\n\n",
+              seeds.size());
+
+  const std::vector<std::string> methods{"PCA", "DIF", "CND-IDS"};
+  // dataset -> method -> per-seed values
+  std::map<std::string, std::map<std::string, std::vector<double>>> acc;
+  std::vector<std::string> dataset_names;
+
+  for (std::uint64_t seed : seeds) {
+    for (data::Dataset& ds : data::make_all_paper_datasets(seed, opt.size_scale)) {
+      if (seed == seeds.front()) dataset_names.push_back(ds.name);
+      const data::ExperienceSet es = bench::make_experience_set(ds, seed);
+      acc[ds.name]["PCA"].push_back(bench::run_static_pca(es).f1.avg_all());
+      acc[ds.name]["DIF"].push_back(bench::run_static_dif(es, seed).f1.avg_all());
+      core::CndIds det(bench::paper_cnd_config(seed));
+      acc[ds.name]["CND-IDS"].push_back(
+          core::run_protocol(det, es, {.seed = seed}).avg());
+    }
+    std::printf("seed %llu done\n", static_cast<unsigned long long>(seed));
+    std::fflush(stdout);
+  }
+
+  auto mean_std = [](const std::vector<double>& v) {
+    double m = 0.0;
+    for (double x : v) m += x;
+    m /= static_cast<double>(v.size());
+    double s = 0.0;
+    for (double x : v) s += (x - m) * (x - m);
+    return std::pair<double, double>{m, std::sqrt(s / static_cast<double>(v.size()))};
+  };
+
+  std::printf("\n  %-12s", "dataset");
+  for (const auto& m : methods) std::printf(" %18s", m.c_str());
+  std::printf("\n");
+  std::vector<std::vector<double>> csv;
+  std::size_t cnd_wins = 0;
+  for (const auto& name : dataset_names) {
+    std::printf("  %-12s", name.c_str());
+    std::vector<double> row;
+    double best_other = 0.0, cnd_mean = 0.0;
+    for (const auto& m : methods) {
+      const auto [mu, sd] = mean_std(acc[name][m]);
+      std::printf("   %8.4f ±%6.4f", mu, sd);
+      row.push_back(mu);
+      row.push_back(sd);
+      if (m == "CND-IDS")
+        cnd_mean = mu;
+      else
+        best_other = std::max(best_other, mu);
+    }
+    cnd_wins += (cnd_mean >= best_other);
+    std::printf("\n");
+    csv.push_back(row);
+  }
+  std::printf("\nCND-IDS mean beats the best static baseline on %zu/%zu datasets\n",
+              cnd_wins, dataset_names.size());
+
+  data::save_table_csv("multiseed.csv",
+                       {"dataset", "pca_mean", "pca_std", "dif_mean", "dif_std",
+                        "cnd_mean", "cnd_std"},
+                       csv, dataset_names);
+  std::printf("Wrote multiseed.csv\n");
+  return 0;
+}

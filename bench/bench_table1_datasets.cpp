@@ -1,0 +1,57 @@
+// Reproduces Table I: the dataset inventory. The synthetic generators are
+// scaled down (~2% of the original row counts) but must preserve the
+// paper's ratios: normal/attack split and attack-family counts. This bench
+// prints the paper's row next to the generated one and checks the ratios.
+#include <cstdio>
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "data/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cnd;
+  const bench::BenchOptions opt = bench::parse_options(argc, argv);
+
+  struct PaperRow {
+    const char* name;
+    double total, normal, attack;
+    std::size_t types;
+  };
+  const PaperRow paper[] = {
+      {"X-IIoTID", 820502, 421417, 399417, 18},
+      {"WUSTL-IIoT", 1194464, 1107448, 87016, 4},
+      {"CICIDS2017", 2830743, 2273097, 557646, 15},
+      {"UNSW-NB15", 257673, 164673, 93000, 10},
+  };
+
+  std::printf("=== Table I: dataset inventory (paper ratios vs generated) ===\n\n");
+  std::printf("  %-12s %22s %22s %8s %8s\n", "dataset", "attack%% (paper)",
+              "attack%% (generated)", "types", "ok");
+
+  std::vector<std::vector<double>> csv;
+  std::vector<std::string> labels;
+  bool all_ok = true;
+  std::size_t i = 0;
+  for (data::Dataset& ds : data::make_all_paper_datasets(opt.seed, opt.size_scale)) {
+    const PaperRow& p = paper[i++];
+    const double paper_frac = p.attack / p.total;
+    const double gen_frac =
+        static_cast<double>(ds.n_attacks()) / static_cast<double>(ds.size());
+    const bool ok = std::abs(paper_frac - gen_frac) < 0.03 &&
+                    ds.n_attack_classes() == p.types;
+    all_ok &= ok;
+    std::printf("  %-12s %21.1f%% %21.1f%% %8zu %8s\n", ds.name.c_str(),
+                100.0 * paper_frac, 100.0 * gen_frac, ds.n_attack_classes(),
+                ok ? "yes" : "NO");
+    csv.push_back({paper_frac, gen_frac, static_cast<double>(ds.n_attack_classes())});
+    labels.push_back(ds.name);
+  }
+  std::printf("\n%s\n", all_ok ? "All dataset shapes match Table I ratios."
+                               : "MISMATCH against Table I ratios!");
+  data::save_table_csv("table1_datasets.csv",
+                       {"dataset", "paper_attack_frac", "gen_attack_frac",
+                        "n_types"},
+                       csv, labels);
+  std::printf("Wrote table1_datasets.csv\n");
+  return all_ok ? 0 : 1;
+}

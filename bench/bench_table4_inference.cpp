@@ -1,0 +1,111 @@
+// Reproduces Table IV: average inference time (ms) per test sample for
+// CND-IDS, ADCN, LwF, DIF, and PCA (google-benchmark timed).
+//
+// Paper shape to reproduce: PCA fastest; CND-IDS within a whisker of PCA
+// and the fastest continual method; DIF slowest by orders of magnitude.
+// Absolute numbers differ from the paper (RTX 3090 + batched PyTorch there,
+// single CPU core here); the ordering is the claim under test.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace cnd;
+
+/// Everything fit once, shared across timing runs.
+struct Fixture {
+  data::ExperienceSet es;
+  Matrix batch;                 // the timed scoring batch
+  core::CndIds cnd{bench::paper_cnd_config(42)};
+  baselines::Adcn adcn{bench::paper_adcn_config(42)};
+  baselines::Lwf lwf{bench::paper_lwf_config(42)};
+  ml::DeepIsolationForest dif{{.n_representations = 24, .trees_per_repr = 6}};
+  ml::Pca pca{{.explained_variance = 0.95}};
+
+  Fixture() : es(make_es()) {
+    batch = es.experiences.back().x_test;
+
+    Rng rng(42);
+    Matrix seed_x;
+    std::vector<int> seed_y;
+    // Build the baselines' labeled seed exactly as the runner does.
+    const auto& e0 = es.experiences.front();
+    std::vector<std::size_t> normals, attacks;
+    for (std::size_t i = 0; i < e0.y_test.size(); ++i)
+      (e0.y_test[i] == 0 ? normals : attacks).push_back(i);
+    normals.resize(std::min<std::size_t>(32, normals.size()));
+    attacks.resize(std::min<std::size_t>(32, attacks.size()));
+    std::vector<std::size_t> rows = normals;
+    rows.insert(rows.end(), attacks.begin(), attacks.end());
+    seed_x = e0.x_test.take_rows(rows);
+    for (std::size_t i = 0; i < normals.size(); ++i) seed_y.push_back(0);
+    for (std::size_t i = 0; i < attacks.size(); ++i) seed_y.push_back(1);
+
+    const core::SetupContext ctx{es.n_clean, seed_x, seed_y};
+    cnd.setup(ctx);
+    adcn.setup(ctx);
+    lwf.setup(ctx);
+    cnd.observe_experience(e0.x_train);
+    adcn.observe_experience(e0.x_train);
+    lwf.observe_experience(e0.x_train);
+    dif.fit(es.n_clean, rng);
+    pca.fit(es.n_clean);
+  }
+
+  static data::ExperienceSet make_es() {
+    data::Dataset ds = data::make_unsw_nb15(42, 0.25);
+    return bench::make_experience_set(ds, 42);
+  }
+
+  static Fixture& instance() {
+    static Fixture f;
+    return f;
+  }
+};
+
+void report_per_sample(benchmark::State& state, std::size_t batch_rows) {
+  state.counters["ms_per_sample"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(batch_rows),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert,
+      benchmark::Counter::kIs1000);
+}
+
+void BM_CndIds(benchmark::State& state) {
+  auto& f = Fixture::instance();
+  for (auto _ : state) benchmark::DoNotOptimize(f.cnd.score(f.batch));
+  report_per_sample(state, f.batch.rows());
+}
+BENCHMARK(BM_CndIds)->Unit(benchmark::kMillisecond);
+
+void BM_Adcn(benchmark::State& state) {
+  auto& f = Fixture::instance();
+  for (auto _ : state) benchmark::DoNotOptimize(f.adcn.predict(f.batch));
+  report_per_sample(state, f.batch.rows());
+}
+BENCHMARK(BM_Adcn)->Unit(benchmark::kMillisecond);
+
+void BM_Lwf(benchmark::State& state) {
+  auto& f = Fixture::instance();
+  for (auto _ : state) benchmark::DoNotOptimize(f.lwf.predict(f.batch));
+  report_per_sample(state, f.batch.rows());
+}
+BENCHMARK(BM_Lwf)->Unit(benchmark::kMillisecond);
+
+void BM_Dif(benchmark::State& state) {
+  auto& f = Fixture::instance();
+  for (auto _ : state) benchmark::DoNotOptimize(f.dif.score(f.batch));
+  report_per_sample(state, f.batch.rows());
+}
+BENCHMARK(BM_Dif)->Unit(benchmark::kMillisecond);
+
+void BM_Pca(benchmark::State& state) {
+  auto& f = Fixture::instance();
+  for (auto _ : state) benchmark::DoNotOptimize(f.pca.score(f.batch));
+  report_per_sample(state, f.batch.rows());
+}
+BENCHMARK(BM_Pca)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Quickstart: the smallest complete CND-IDS pipeline.
+//
+// Generates a synthetic intrusion dataset, prepares the continual-learning
+// experiences exactly as the paper's protocol prescribes (clean-normal
+// holdout, per-experience unlabeled train streams, labeled test splits),
+// runs CND-IDS through every experience, and prints the continual-learning
+// summary metrics.
+//
+//   ./quickstart [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/cnd_ids.hpp"
+#include "core/experience_runner.hpp"
+#include "data/experiences.hpp"
+#include "data/synth.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cnd;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+  // 1. A UNSW-NB15-like dataset at small scale: ~2.5k flows, 10 attack
+  //    families appearing over time, drifting normal traffic.
+  data::Dataset ds = data::make_unsw_nb15(seed, /*size_scale=*/0.25);
+  std::printf("dataset %s: %zu flows, %zu features, %zu attack families\n",
+              ds.name.c_str(), ds.size(), ds.n_features(),
+              ds.n_attack_classes());
+
+  // 2. Continual-learning data preparation (paper section III-A): 10% of the
+  //    normal stream becomes the clean holdout N_c; the rest is cut into 5
+  //    experiences, each introducing new attack families.
+  data::ExperienceSet es =
+      data::prepare_experiences(ds, {.n_experiences = 5, .seed = seed});
+  std::printf("prepared %zu experiences, |N_c| = %zu\n\n", es.size(),
+              es.n_clean.rows());
+
+  // 3. CND-IDS with the paper's hyperparameters (256-wide MLP autoencoder,
+  //    lambda_R = lambda_CL = 0.1, elbow-method K, PCA @ 95%).
+  core::CndIdsConfig cfg;
+  cfg.cfe.epochs = 8;
+  cfg.seed = seed;
+  core::CndIds detector(cfg);
+
+  // 4. Drive the full protocol: train on each experience's unlabeled stream,
+  //    evaluate on every experience's labeled test set (Best-F threshold).
+  core::RunResult result =
+      core::run_protocol(detector, es, {.seed = seed, .verbose = true});
+
+  std::printf("\nSummary on %s:\n", result.dataset_name.c_str());
+  std::printf("  AVG       (seen attacks)    = %.4f\n", result.avg());
+  std::printf("  FwdTrans  (zero-day attacks)= %.4f\n", result.fwd());
+  std::printf("  BwdTrans  (forgetting)      = %+.4f\n", result.bwd());
+  std::printf("  training  %.1f ms total, inference %.4f ms/sample\n",
+              result.fit_ms_total, result.infer_ms_per_sample);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Streaming monitor: CND-IDS without experience boundaries.
+//
+// The paper's protocol hands the model whole experiences; a real monitor
+// sees mini-batches. StreamingCndIds scores each batch immediately and
+// decides for itself when to adapt: a Page-Hinkley detector watches the
+// batch-mean anomaly score and triggers an adaptation round when the stream
+// shifts (with a buffer-size cap as a fallback). This example replays a
+// drifting CICIDS2017-like stream in 64-flow batches and logs every
+// adaptation the monitor chose to make.
+//
+//   ./streaming_monitor [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/streaming_cnd_ids.hpp"
+#include "data/experiences.hpp"
+#include "data/synth.hpp"
+#include "eval/metrics.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cnd;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 21;
+
+  // Build the drifting stream: reuse the experience machinery for the clean
+  // window + a time-ordered labeled stream, then replay it batch by batch.
+  data::Dataset ds = data::make_cicids2017(seed, /*size_scale=*/0.5);
+  data::ExperienceSet es =
+      data::prepare_experiences(ds, {.n_experiences = 5, .seed = seed});
+
+  core::StreamingConfig cfg;
+  cfg.detector.cfe.epochs = 6;
+  cfg.detector.seed = seed;
+  cfg.min_buffer_rows = 256;
+  cfg.max_buffer_rows = 768;
+  cfg.ph_delta = 0.5;   // FRE means are noisy; tolerate small wobble
+  cfg.ph_lambda = 40.0;
+  core::StreamingCndIds monitor(cfg);
+  monitor.bootstrap(es.n_clean);
+  std::printf("bootstrapped on %zu vouched flows\n\n", es.n_clean.rows());
+
+  const std::size_t batch_rows = 64;
+  std::size_t batch_no = 0;
+  eval::Confusion total;
+  for (const auto& exp : es.experiences) {
+    // Replay this window's labeled test flows as the live stream.
+    for (std::size_t start = 0; start + batch_rows <= exp.x_test.rows();
+         start += batch_rows) {
+      std::vector<std::size_t> idx;
+      for (std::size_t i = 0; i < batch_rows; ++i) idx.push_back(start + i);
+      Matrix batch = exp.x_test.take_rows(idx);
+      std::vector<int> truth;
+      for (std::size_t i : idx) truth.push_back(exp.y_test[i]);
+
+      const core::StreamBatchResult r = monitor.process_batch(batch);
+      const eval::Confusion c = eval::confusion(r.verdicts, truth);
+      total.tp += c.tp;
+      total.fp += c.fp;
+      total.tn += c.tn;
+      total.fn += c.fn;
+
+      if (r.adapted)
+        std::printf("batch %4zu: ADAPTED (%s, %zu adaptations so far, "
+                    "threshold now %.2f)\n",
+                    batch_no, r.drift_signal ? "drift signal" : "buffer cap",
+                    monitor.adaptations(), r.threshold);
+      ++batch_no;
+    }
+  }
+
+  std::printf("\nstream replay done: %zu flows in %zu batches, %zu adaptations\n",
+              monitor.flows_seen(), batch_no, monitor.adaptations());
+  std::printf("online totals: precision %.3f recall %.3f F1 %.3f "
+              "(label-free thresholds throughout)\n",
+              eval::precision(total), eval::recall(total), eval::f1_score(total));
+  return 0;
+}

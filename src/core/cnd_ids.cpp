@@ -1,0 +1,43 @@
+#include "core/cnd_ids.hpp"
+
+#include "tensor/assert.hpp"
+
+namespace cnd::core {
+
+std::vector<int> ContinualDetector::predict(const Matrix&) {
+  throw std::logic_error(name() + ": predict() not implemented (score-based detector)");
+}
+
+CndIds::CndIds(const CndIdsConfig& cfg)
+    : cfg_(cfg), cfe_(cfg.cfe, cfg.seed), pca_(cfg.pca) {}
+
+std::string CndIds::name() const {
+  std::string n = "CND-IDS";
+  if (!cfg_.cfe.use_cs) n += " (w/o L_CS)";
+  if (!cfg_.cfe.use_r && !cfg_.cfe.use_cl)
+    n += " (w/o L_R and L_CL)";
+  else if (!cfg_.cfe.use_r)
+    n += " (w/o L_R)";
+  else if (!cfg_.cfe.use_cl)
+    n += " (w/o L_CL)";
+  return n;
+}
+
+void CndIds::setup(const SetupContext& ctx) {
+  require(ctx.n_clean.rows() >= 8, "CndIds::setup: N_c too small");
+  n_clean_ = ctx.n_clean;  // Labeled seed deliberately unused: label-free method.
+}
+
+void CndIds::observe_experience(const Matrix& x_train) {
+  require(!n_clean_.empty(), "CndIds::observe_experience: setup() not called");
+  last_stats_ = cfe_.fit_experience(x_train, n_clean_);
+  pca_ = ml::Pca(cfg_.pca);
+  pca_.fit(cfe_.encode(n_clean_));
+}
+
+std::vector<double> CndIds::score(const Matrix& x_test) {
+  require(pca_.fitted(), "CndIds::score: no experience observed yet");
+  return pca_.score(cfe_.encode(x_test));
+}
+
+}  // namespace cnd::core

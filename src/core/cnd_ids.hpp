@@ -1,0 +1,44 @@
+// CND-IDS: the paper's full detector (Fig. 2 / Algorithm 1).
+//
+// Per experience: (i) train the CFE on the unlabeled stream, (ii) encode the
+// clean-normal holdout N_c, (iii) fit the PCA novelty detector on the
+// encoded N_c. Scoring encodes test rows and returns their PCA feature
+// reconstruction error; the runner (or caller) thresholds the scores.
+#pragma once
+
+#include <memory>
+
+#include "core/cfe.hpp"
+#include "core/detector.hpp"
+#include "ml/pca.hpp"
+
+namespace cnd::core {
+
+struct CndIdsConfig {
+  CfeConfig cfe;
+  ml::PcaConfig pca{.explained_variance = 0.95};  ///< paper: 95%.
+  std::uint64_t seed = 1234;
+};
+
+class CndIds final : public ContinualDetector {
+ public:
+  explicit CndIds(const CndIdsConfig& cfg = {});
+
+  std::string name() const override;
+  void setup(const SetupContext& ctx) override;
+  void observe_experience(const Matrix& x_train) override;
+  std::vector<double> score(const Matrix& x_test) override;
+
+  const Cfe& cfe() const { return cfe_; }
+  const ml::Pca& pca() const { return pca_; }
+  const CfeFitStats& last_fit_stats() const { return last_stats_; }
+
+ private:
+  CndIdsConfig cfg_;
+  Cfe cfe_;
+  ml::Pca pca_;
+  Matrix n_clean_;
+  CfeFitStats last_stats_;
+};
+
+}  // namespace cnd::core

@@ -1,0 +1,54 @@
+// Common interface for continual intrusion detectors.
+//
+// The ExperienceRunner drives any implementation through the paper's
+// protocol (Algorithm 1): setup with the clean-normal holdout, then for each
+// experience observe the unlabeled training stream and evaluate on every
+// experience's test set. Score-based detectors (CND-IDS, static ND methods
+// wrapped as detectors) return continuous anomaly scores and are thresholded
+// with Best-F by the runner; cluster-classification baselines (ADCN, LwF)
+// return hard predictions and additionally consume the small labeled seed
+// set the paper notes they require.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace cnd::core {
+
+/// Everything a detector may use before the stream starts. `n_clean` is
+/// N_c. The labeled seed (a handful of rows) is only consulted by the UCL
+/// baselines, mirroring the paper's note that ADCN/LwF need a small amount
+/// of labeled normal and attack data to classify.
+struct SetupContext {
+  const Matrix& n_clean;
+  const Matrix& seed_x;
+  const std::vector<int>& seed_y;
+};
+
+class ContinualDetector {
+ public:
+  virtual ~ContinualDetector() = default;
+
+  virtual std::string name() const = 0;
+
+  virtual void setup(const SetupContext& ctx) = 0;
+
+  /// Consume one experience's unlabeled (contaminated) training stream.
+  virtual void observe_experience(const Matrix& x_train) = 0;
+
+  /// True when the detector emits continuous anomaly scores (thresholded by
+  /// the runner); false when it emits hard 0/1 predictions directly.
+  virtual bool has_scores() const { return true; }
+
+  /// Anomaly score per row; higher = more attack-like. Only called when
+  /// has_scores().
+  virtual std::vector<double> score(const Matrix& x_test) = 0;
+
+  /// Hard predictions; default derives nothing and must be overridden by
+  /// detectors with has_scores() == false.
+  virtual std::vector<int> predict(const Matrix& x_test);
+};
+
+}  // namespace cnd::core

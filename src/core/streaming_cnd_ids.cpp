@@ -1,0 +1,73 @@
+#include "core/streaming_cnd_ids.hpp"
+
+#include "eval/robust_threshold.hpp"
+#include "eval/threshold.hpp"
+#include "tensor/assert.hpp"
+
+namespace cnd::core {
+
+StreamingCndIds::StreamingCndIds(const StreamingConfig& cfg)
+    : cfg_(cfg),
+      detector_(cfg.detector),
+      ph_(cfg.ph_delta, cfg.ph_lambda, /*min_samples=*/8) {
+  require(cfg.min_buffer_rows >= 32, "StreamingCndIds: min_buffer_rows too small");
+  require(cfg.max_buffer_rows >= cfg.min_buffer_rows,
+          "StreamingCndIds: max_buffer_rows < min_buffer_rows");
+  require(cfg.target_fpr > 0.0 && cfg.target_fpr < 0.05,
+          "StreamingCndIds: target_fpr out of (0, 0.05)");
+}
+
+void StreamingCndIds::bootstrap(const Matrix& n_clean) {
+  require(n_clean.rows() >= 32, "StreamingCndIds::bootstrap: clean window too small");
+  n_clean_ = n_clean;
+  Matrix seed_x;
+  std::vector<int> seed_y;
+  detector_.setup(SetupContext{n_clean_, seed_x, seed_y});
+  // Bootstrap round: the clean window doubles as the first "stream".
+  detector_.observe_experience(n_clean_);
+  threshold_ = eval::pot_threshold(
+      detector_.score(n_clean_), {.tail_quantile = 0.9, .target_prob = cfg_.target_fpr});
+  ready_ = true;
+}
+
+void StreamingCndIds::adapt() {
+  detector_.observe_experience(buffer_);
+  // Recalibrate the alarm level on the vouched clean window under the
+  // freshly adapted encoder. Calibrating on the live buffer instead would
+  // break whenever an attack wave dominates it; N_c is the only data whose
+  // label the operator actually knows.
+  threshold_ = eval::pot_threshold(
+      detector_.score(n_clean_), {.tail_quantile = 0.9, .target_prob = cfg_.target_fpr});
+  buffer_ = Matrix();
+  ph_.reset();
+  ++adaptations_;
+}
+
+StreamBatchResult StreamingCndIds::process_batch(const Matrix& batch) {
+  require(ready_, "StreamingCndIds::process_batch: bootstrap() not called");
+  require(batch.rows() > 0, "StreamingCndIds::process_batch: empty batch");
+
+  StreamBatchResult res;
+  res.scores = detector_.score(batch);
+  res.threshold = threshold_;
+  res.verdicts = eval::apply_threshold(res.scores, threshold_);
+  flows_seen_ += batch.rows();
+
+  // Drift statistic: mean score of the batch. A drifting normal population
+  // raises the mean even when no attack wave is in progress.
+  double mean = 0.0;
+  for (double v : res.scores) mean += v;
+  mean /= static_cast<double>(res.scores.size());
+  res.drift_signal = ph_.update(mean);
+
+  buffer_.append_rows(batch);
+  const bool buffer_full = buffer_.rows() >= cfg_.max_buffer_rows;
+  const bool can_adapt = buffer_.rows() >= cfg_.min_buffer_rows;
+  if ((res.drift_signal && can_adapt) || buffer_full) {
+    adapt();
+    res.adapted = true;
+  }
+  return res;
+}
+
+}  // namespace cnd::core

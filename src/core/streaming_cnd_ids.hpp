@@ -1,0 +1,70 @@
+// Streaming deployment wrapper around CND-IDS.
+//
+// The paper's protocol hands the detector whole experiences. A deployed
+// monitor sees flows one mini-batch at a time and has no experience
+// boundaries; this wrapper buffers the live stream, scores each batch
+// immediately, feeds the mean batch score into a Page-Hinkley drift
+// detector, and triggers a CND-IDS adaptation round (CFE fit + PCA refit)
+// when drift is signaled OR the buffer reaches a size cap — whichever comes
+// first. This is the "future-work" deployment mode the paper's streaming
+// framing implies but never spells out.
+#pragma once
+
+#include "core/cnd_ids.hpp"
+#include "ml/drift_detector.hpp"
+
+namespace cnd::core {
+
+struct StreamingConfig {
+  CndIdsConfig detector;
+  /// Adaptation triggers: whichever fires first.
+  std::size_t max_buffer_rows = 2048;   ///< hard cap on buffered flows.
+  std::size_t min_buffer_rows = 256;    ///< never adapt on less than this.
+  double ph_delta = 0.02;               ///< Page-Hinkley tolerance.
+  double ph_lambda = 8.0;               ///< Page-Hinkley alarm level.
+  /// Label-free alarm threshold: peaks-over-threshold on the vouched clean
+  /// window's scores, placed at this target false-alarm probability.
+  double target_fpr = 0.01;
+};
+
+/// One processed batch: per-flow scores/verdicts plus adaptation telemetry.
+struct StreamBatchResult {
+  std::vector<double> scores;
+  std::vector<int> verdicts;
+  bool adapted = false;          ///< an adaptation round ran after this batch.
+  bool drift_signal = false;     ///< Page-Hinkley fired on this batch.
+  double threshold = 0.0;
+};
+
+class StreamingCndIds {
+ public:
+  explicit StreamingCndIds(const StreamingConfig& cfg = {});
+
+  /// Provide the operator-vouched clean window; runs the first adaptation
+  /// bootstrap so scoring works from the first batch (the clean window
+  /// doubles as the first training stream).
+  void bootstrap(const Matrix& n_clean);
+
+  /// Score a batch of live flows, update drift state, maybe adapt.
+  StreamBatchResult process_batch(const Matrix& batch);
+
+  std::size_t adaptations() const { return adaptations_; }
+  std::size_t flows_seen() const { return flows_seen_; }
+  std::size_t buffered() const { return buffer_.rows(); }
+  const CndIds& detector() const { return detector_; }
+
+ private:
+  void adapt();
+
+  StreamingConfig cfg_;
+  CndIds detector_;
+  ml::PageHinkley ph_;
+  Matrix n_clean_;
+  Matrix buffer_;
+  double threshold_ = 0.0;
+  std::size_t adaptations_ = 0;
+  std::size_t flows_seen_ = 0;
+  bool ready_ = false;
+};
+
+}  // namespace cnd::core

@@ -1,0 +1,44 @@
+#include "data/dataset.hpp"
+
+#include "tensor/assert.hpp"
+
+namespace cnd::data {
+
+std::size_t Dataset::n_attacks() const {
+  std::size_t n = 0;
+  for (int v : y) n += (v == 1);
+  return n;
+}
+
+std::size_t Dataset::n_normals() const { return y.size() - n_attacks(); }
+
+void Dataset::validate() const {
+  CND_ASSERT(y.size() == x.rows());
+  CND_ASSERT(attack_class.size() == x.rows());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    CND_ASSERT(y[i] == 0 || y[i] == 1);
+    if (y[i] == 0) {
+      CND_ASSERT(attack_class[i] == -1);
+    } else {
+      CND_ASSERT(attack_class[i] >= 0);
+      CND_ASSERT(static_cast<std::size_t>(attack_class[i]) < class_names.size());
+    }
+  }
+}
+
+Dataset Dataset::take(const std::vector<std::size_t>& idx) const {
+  Dataset out;
+  out.name = name;
+  out.class_names = class_names;
+  out.x = x.take_rows(idx);
+  out.y.reserve(idx.size());
+  out.attack_class.reserve(idx.size());
+  for (std::size_t i : idx) {
+    require(i < y.size(), "Dataset::take: index out of range");
+    out.y.push_back(y[i]);
+    out.attack_class.push_back(attack_class[i]);
+  }
+  return out;
+}
+
+}  // namespace cnd::data

@@ -1,0 +1,38 @@
+// Labeled intrusion dataset container.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace cnd::data {
+
+/// A labeled intrusion dataset. Row i of `x` is one network flow;
+/// y[i] in {0 = normal, 1 = attack}; attack_class[i] is the attack family id
+/// (-1 for normal rows) indexing into `class_names`.
+struct Dataset {
+  std::string name;
+  Matrix x;
+  std::vector<int> y;
+  std::vector<int> attack_class;
+  std::vector<std::string> class_names;
+
+  std::size_t size() const { return x.rows(); }
+  std::size_t n_features() const { return x.cols(); }
+  std::size_t n_attack_classes() const { return class_names.size(); }
+
+  /// Count of rows with y == 1.
+  std::size_t n_attacks() const;
+  /// Count of rows with y == 0.
+  std::size_t n_normals() const;
+
+  /// Throws std::logic_error if the parallel arrays disagree or labels are
+  /// inconsistent (y==0 with attack_class != -1, class id out of range, ...).
+  void validate() const;
+
+  /// Subset by row indices (preserves order given).
+  Dataset take(const std::vector<std::size_t>& idx) const;
+};
+
+}  // namespace cnd::data

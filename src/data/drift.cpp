@@ -1,0 +1,54 @@
+#include "data/drift.hpp"
+
+#include <cmath>
+
+#include "tensor/assert.hpp"
+
+namespace cnd::data {
+
+double drift_profile(const DriftSpec& spec, double position) {
+  require(position >= 0.0 && position <= 1.0, "drift_profile: position out of [0,1]");
+  switch (spec.kind) {
+    case DriftKind::kSudden:
+      return position >= spec.start_frac ? 1.0 : 0.0;
+    case DriftKind::kGradual: {
+      if (position <= spec.start_frac) return 0.0;
+      const double span = std::max(1.0 - spec.start_frac, 1e-12);
+      return (position - spec.start_frac) / span;
+    }
+    case DriftKind::kRecurring: {
+      require(spec.period_frac > 0.0, "drift_profile: period must be > 0");
+      const double cycles = position / spec.period_frac;
+      return (static_cast<long long>(std::floor(cycles)) % 2 == 0) ? 0.0 : 1.0;
+    }
+  }
+  return 0.0;
+}
+
+Matrix inject_drift(const Matrix& x, const DriftSpec& spec) {
+  require(x.rows() >= 2, "inject_drift: need at least 2 rows");
+  require(spec.magnitude >= 0.0, "inject_drift: negative magnitude");
+
+  // Deterministic unit direction scaled to the magnitude.
+  Rng rng(spec.seed);
+  std::vector<double> dir(x.cols());
+  double norm = 0.0;
+  for (double& v : dir) {
+    v = rng.normal();
+    norm += v * v;
+  }
+  norm = std::sqrt(std::max(norm, 1e-12));
+  for (double& v : dir) v *= spec.magnitude / norm;
+
+  Matrix out = x;
+  const double denom = static_cast<double>(x.rows() - 1);
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    const double w = drift_profile(spec, static_cast<double>(i) / denom);
+    if (w == 0.0) continue;
+    auto r = out.row(i);
+    for (std::size_t j = 0; j < out.cols(); ++j) r[j] += w * dir[j];
+  }
+  return out;
+}
+
+}  // namespace cnd::data

@@ -1,0 +1,35 @@
+// Drift injection utilities for robustness experiments.
+//
+// The synthetic generators already drift smoothly; these helpers inject
+// *additional*, controlled drift patterns into any feature matrix so tests
+// and benches can probe a detector's response to the standard drift
+// taxonomy: sudden (step change), gradual (ramp), and recurring (periodic
+// alternation between two regimes).
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/matrix.hpp"
+#include "tensor/rng.hpp"
+
+namespace cnd::data {
+
+enum class DriftKind { kSudden, kGradual, kRecurring };
+
+struct DriftSpec {
+  DriftKind kind = DriftKind::kGradual;
+  double magnitude = 2.0;   ///< Euclidean length of the drift direction.
+  double start_frac = 0.5;  ///< stream position where the drift begins.
+  double period_frac = 0.25;  ///< recurring: fraction of stream per cycle.
+  std::uint64_t seed = 17;  ///< direction seed (deterministic).
+};
+
+/// Apply the drift to rows of x in stream order (row i is at stream position
+/// i / (rows - 1)). Returns the drifted copy.
+Matrix inject_drift(const Matrix& x, const DriftSpec& spec);
+
+/// Per-row drift multiplier in [0, 1] for the given spec (exposed for tests
+/// and for plotting drift profiles).
+double drift_profile(const DriftSpec& spec, double position);
+
+}  // namespace cnd::data

@@ -1,0 +1,51 @@
+// Continual-learning data preparation (paper §III-A).
+//
+// From a labeled dataset, produce:
+//   - N_c: the clean-normal holdout (10% of normal rows, taken from the
+//     start of the stream — the pre-deployment traffic an operator can
+//     actually vouch for),
+//   - m experiences, each with an *unlabeled* training split (a slice of
+//     normal traffic plus the attack families first appearing in that
+//     experience) and a labeled test split.
+// Attack families are partitioned across experiences (|C|/m per experience)
+// so future experiences contain genuinely unseen (zero-day) families.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+#include "tensor/rng.hpp"
+
+namespace cnd::data {
+
+struct Experience {
+  Matrix x_train;                        ///< unlabeled, contaminated stream.
+  Matrix x_test;
+  std::vector<int> y_test;               ///< 0 normal / 1 attack.
+  std::vector<int> test_class;           ///< attack family id, -1 = normal.
+  std::vector<int> attack_classes_here;  ///< family ids introduced here.
+};
+
+struct ExperienceSet {
+  std::string dataset_name;
+  std::vector<std::string> class_names;
+  Matrix n_clean;  ///< N_c, already standardized like everything else.
+  std::vector<Experience> experiences;
+
+  std::size_t size() const { return experiences.size(); }
+};
+
+struct PrepConfig {
+  std::size_t n_experiences = 5;   ///< m.
+  double clean_frac = 0.10;        ///< |N_c| / |N|.
+  double train_frac = 0.70;        ///< train/test split within an experience.
+  bool standardize = true;         ///< z-score using N_c statistics.
+  std::uint64_t seed = 7;
+};
+
+/// Implements Algorithm/§III-A. Throws std::invalid_argument when the
+/// dataset cannot support the requested split (fewer attack classes than
+/// experiences, too little normal data, ...).
+ExperienceSet prepare_experiences(const Dataset& ds, const PrepConfig& cfg);
+
+}  // namespace cnd::data

@@ -1,0 +1,119 @@
+#include "data/flow_generator.hpp"
+
+#include <cmath>
+
+#include "tensor/assert.hpp"
+
+namespace cnd::data {
+
+FlowGenerator::FlowGenerator(std::size_t n_features, std::size_t q,
+                             double base_mix_scale, Rng& rng)
+    : d_(n_features), q_(q), base_mixing_(n_features, q) {
+  require(d_ > 0, "FlowGenerator: zero features");
+  require(q_ > 0 && q_ <= d_, "FlowGenerator: bad latent rank");
+  require(base_mix_scale >= 0.0, "FlowGenerator: negative base_mix_scale");
+  for (std::size_t i = 0; i < d_; ++i)
+    for (std::size_t j = 0; j < q_; ++j)
+      base_mixing_(i, j) = rng.normal(0.0, base_mix_scale);
+}
+
+std::size_t FlowGenerator::add_profile(const std::string& name, double center_dist,
+                                       double spread, double heavy_df,
+                                       double drift_mag, double subspace_shift,
+                                       double in_subspace_frac, double cov_drift,
+                                       Rng& rng) {
+  require(spread > 0.0, "FlowGenerator: spread must be > 0");
+  require(subspace_shift >= 0.0, "FlowGenerator: negative subspace_shift");
+  require(in_subspace_frac >= 0.0 && in_subspace_frac <= 1.0,
+          "FlowGenerator: in_subspace_frac out of [0,1]");
+
+  Profile pr;
+  pr.name = name;
+  pr.heavy_df = heavy_df;
+
+  // Mean offset: a blend of a direction inside span(B_base) — invisible to
+  // base-traffic PCA — and a fully random (mostly orthogonal) direction.
+  std::vector<double> u_in(d_, 0.0), u_out(d_);
+  {
+    std::vector<double> g(q_);
+    for (double& v : g) v = rng.normal();
+    for (std::size_t i = 0; i < d_; ++i)
+      for (std::size_t l = 0; l < q_; ++l) u_in[i] += base_mixing_(i, l) * g[l];
+    double n_in = 0.0;
+    for (double v : u_in) n_in += v * v;
+    n_in = std::sqrt(std::max(n_in, 1e-12));
+    for (double& v : u_in) v /= n_in;
+
+    double n_out = 0.0;
+    for (double& v : u_out) {
+      v = rng.normal();
+      n_out += v * v;
+    }
+    n_out = std::sqrt(std::max(n_out, 1e-12));
+    for (double& v : u_out) v /= n_out;
+  }
+  pr.mu.resize(d_);
+  double norm = 0.0;
+  for (std::size_t i = 0; i < d_; ++i) {
+    pr.mu[i] = in_subspace_frac * u_in[i] + (1.0 - in_subspace_frac) * u_out[i];
+    norm += pr.mu[i] * pr.mu[i];
+  }
+  norm = std::sqrt(std::max(norm, 1e-12));
+  for (double& v : pr.mu) v *= center_dist / norm;
+
+  // Per-feature scales vary ±50% around `spread` (flows mix counters and
+  // flags with very different variability).
+  pr.scale.resize(d_);
+  for (double& v : pr.scale) v = spread * rng.uniform(0.5, 1.5);
+
+  // Shared structure plus a controlled per-profile deviation.
+  pr.mixing = base_mixing_;
+  if (subspace_shift > 0.0)
+    for (std::size_t i = 0; i < d_; ++i)
+      for (std::size_t j = 0; j < q_; ++j)
+        pr.mixing(i, j) += rng.normal(0.0, subspace_shift);
+
+  // Covariance drift: the correlation structure itself rotates across the
+  // stream (mixing + phase * mixing_drift at sample time).
+  pr.mixing_drift = Matrix(d_, q_);
+  if (cov_drift > 0.0)
+    for (std::size_t i = 0; i < d_; ++i)
+      for (std::size_t j = 0; j < q_; ++j)
+        pr.mixing_drift(i, j) = rng.normal(0.0, cov_drift);
+
+  pr.drift.resize(d_);
+  double dn = 0.0;
+  for (double& v : pr.drift) {
+    v = rng.normal();
+    dn += v * v;
+  }
+  dn = std::sqrt(std::max(dn, 1e-12));
+  for (double& v : pr.drift) v *= drift_mag / dn;
+
+  profiles_.push_back(std::move(pr));
+  return profiles_.size() - 1;
+}
+
+Matrix FlowGenerator::sample(std::size_t p, std::size_t n, double phase,
+                             Rng& rng) const {
+  require(p < profiles_.size(), "FlowGenerator::sample: bad profile index");
+  const Profile& pr = profiles_[p];
+
+  Matrix out(n, d_);
+  std::vector<double> z(q_);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (double& v : z) v = rng.normal();
+    auto row = out.row(i);
+    for (std::size_t j = 0; j < d_; ++j) {
+      double corr = 0.0;
+      for (std::size_t l = 0; l < q_; ++l)
+        corr += (pr.mixing(j, l) + phase * pr.mixing_drift(j, l)) * z[l];
+      const double eps =
+          pr.heavy_df > 0.0 ? rng.heavy_tail(pr.heavy_df) : rng.normal();
+      row[j] = pr.mu[j] + pr.drift[j] * phase + corr + pr.scale[j] * eps;
+    }
+  }
+  return out;
+}
+
+}  // namespace cnd::data

@@ -1,0 +1,41 @@
+#include "data/replay_buffer.hpp"
+
+#include <algorithm>
+
+#include "tensor/assert.hpp"
+
+namespace cnd::data {
+
+ReplayBuffer::ReplayBuffer(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), rng_(seed) {
+  require(capacity > 0, "ReplayBuffer: zero capacity");
+}
+
+void ReplayBuffer::add(const Matrix& x) {
+  if (x.empty()) return;
+  if (!buf_.empty())
+    require(x.cols() == buf_.cols(), "ReplayBuffer::add: width mismatch");
+
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    ++seen_;
+    if (buf_.rows() < capacity_) {
+      Matrix one(1, x.cols());
+      one.set_row(0, x.row(i));
+      buf_.append_rows(one);
+      continue;
+    }
+    // Reservoir: replace a random slot with probability capacity / seen.
+    const auto j = static_cast<std::size_t>(
+        rng_.randint(0, static_cast<std::int64_t>(seen_) - 1));
+    if (j < capacity_) buf_.set_row(j, x.row(i));
+  }
+}
+
+Matrix ReplayBuffer::sample(std::size_t n, Rng& rng) const {
+  require(!buf_.empty(), "ReplayBuffer::sample: empty buffer");
+  auto perm = rng.permutation(buf_.rows());
+  perm.resize(std::min(n, buf_.rows()));
+  return buf_.take_rows(perm);
+}
+
+}  // namespace cnd::data

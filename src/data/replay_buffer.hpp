@@ -1,0 +1,43 @@
+// Reservoir-sampled replay buffer.
+//
+// Supports the replay-based continual-learning variant of the CFE (the
+// storage/accuracy trade-off the paper discusses: its latent-regularization
+// loss stores model snapshots instead of data "which can significantly
+// reduce storage overhead"; this buffer is the data-storing alternative).
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/matrix.hpp"
+#include "tensor/rng.hpp"
+
+namespace cnd::data {
+
+class ReplayBuffer {
+ public:
+  /// `capacity` rows are kept; insertion uses reservoir sampling so the
+  /// buffer is a uniform sample of everything ever added.
+  explicit ReplayBuffer(std::size_t capacity, std::uint64_t seed = 23);
+
+  /// Add all rows of x to the stream (reservoir update).
+  void add(const Matrix& x);
+
+  /// Uniform sample of min(n, size()) buffered rows.
+  Matrix sample(std::size_t n, Rng& rng) const;
+
+  /// The full buffer contents (row order unspecified).
+  const Matrix& data() const { return buf_; }
+
+  std::size_t size() const { return buf_.rows(); }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t seen() const { return seen_; }
+  bool empty() const { return buf_.empty(); }
+
+ private:
+  std::size_t capacity_;
+  std::size_t seen_ = 0;
+  Matrix buf_;
+  Rng rng_;
+};
+
+}  // namespace cnd::data

@@ -1,0 +1,70 @@
+#include "eval/cl_metrics.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "tensor/assert.hpp"
+
+namespace cnd::eval {
+
+ClResultMatrix::ClResultMatrix(std::size_t m) : r_(m, m) {
+  require(m >= 2, "ClResultMatrix: need at least 2 experiences");
+}
+
+void ClResultMatrix::set(std::size_t i, std::size_t j, double value) {
+  require(i < m() && j < m(), "ClResultMatrix::set: out of range");
+  r_(i, j) = value;
+}
+
+double ClResultMatrix::get(std::size_t i, std::size_t j) const {
+  require(i < m() && j < m(), "ClResultMatrix::get: out of range");
+  return r_(i, j);
+}
+
+double ClResultMatrix::avg_current() const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < m(); ++i) s += r_(i, i);
+  return s / static_cast<double>(m());
+}
+
+double ClResultMatrix::fwd_transfer() const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < m(); ++i)
+    for (std::size_t j = i + 1; j < m(); ++j) s += r_(i, j);
+  const double pairs = static_cast<double>(m() * (m() - 1)) / 2.0;
+  return s / pairs;
+}
+
+double ClResultMatrix::bwd_transfer() const {
+  const std::size_t last = m() - 1;
+  double s = 0.0;
+  for (std::size_t i = 0; i < m(); ++i) s += r_(last, i) - r_(i, i);
+  const double pairs = static_cast<double>(m() * (m() - 1)) / 2.0;
+  return s / pairs;
+}
+
+double ClResultMatrix::avg_all() const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < m(); ++i)
+    for (std::size_t j = 0; j < m(); ++j) s += r_(i, j);
+  return s / static_cast<double>(m() * m());
+}
+
+std::string ClResultMatrix::to_string(const std::string& name) const {
+  std::ostringstream os;
+  os << name << " result matrix R[train, test]:\n";
+  os << std::fixed << std::setprecision(4);
+  os << "        ";
+  for (std::size_t j = 0; j < m(); ++j) os << "  test" << j << " ";
+  os << "\n";
+  for (std::size_t i = 0; i < m(); ++i) {
+    os << "  train" << i;
+    for (std::size_t j = 0; j < m(); ++j) os << "  " << std::setw(6) << r_(i, j);
+    os << "\n";
+  }
+  os << "  AVG=" << avg_current() << "  FwdTrans=" << fwd_transfer()
+     << "  BwdTrans=" << bwd_transfer() << "\n";
+  return os.str();
+}
+
+}  // namespace cnd::eval

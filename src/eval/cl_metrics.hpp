@@ -1,0 +1,42 @@
+// Continual-learning result matrix and summary metrics (paper §IV-A).
+//
+// R(i, j) is the metric (F1 or PR-AUC) on test experience j measured after
+// training on experience i. The paper's summaries:
+//   AVG       = sum_{i==j} R_ij / m                  (seen attacks)
+//   FwdTrans  = sum_{j>i}  R_ij / (m(m-1)/2)         (zero-day attacks)
+//   BwdTrans  = sum_i (R_{m-1,i} - R_{i,i}) / (m(m-1)/2)   (forgetting)
+// BwdTrans uses the paper's own normalizer m(m-1)/2 (not GEM's m-1); the
+// sign convention matches: negative = catastrophic forgetting.
+#pragma once
+
+#include <string>
+
+#include "tensor/matrix.hpp"
+
+namespace cnd::eval {
+
+class ClResultMatrix {
+ public:
+  explicit ClResultMatrix(std::size_t m);
+
+  std::size_t m() const { return r_.rows(); }
+  void set(std::size_t train_exp, std::size_t test_exp, double value);
+  double get(std::size_t train_exp, std::size_t test_exp) const;
+  const Matrix& raw() const { return r_; }
+
+  double avg_current() const;
+  double fwd_transfer() const;
+  double bwd_transfer() const;
+
+  /// Mean of every entry (used by the Fig-4 "average F1 on all experiences"
+  /// comparison against static ND methods).
+  double avg_all() const;
+
+  /// Pretty-print with row/column headers to any ostream.
+  std::string to_string(const std::string& name) const;
+
+ private:
+  Matrix r_;
+};
+
+}  // namespace cnd::eval

@@ -1,0 +1,114 @@
+#include "eval/metrics_ext.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tensor/assert.hpp"
+#include "tensor/rng.hpp"
+
+namespace cnd::eval {
+
+double mcc(const Confusion& c) {
+  const double tp = static_cast<double>(c.tp), fp = static_cast<double>(c.fp);
+  const double tn = static_cast<double>(c.tn), fn = static_cast<double>(c.fn);
+  const double denom =
+      std::sqrt((tp + fp) * (tp + fn) * (tn + fp) * (tn + fn));
+  if (denom <= 0.0) return 0.0;
+  return (tp * tn - fp * fn) / denom;
+}
+
+double balanced_accuracy(const Confusion& c) {
+  const double pos = static_cast<double>(c.tp + c.fn);
+  const double neg = static_cast<double>(c.tn + c.fp);
+  const double tpr = pos > 0.0 ? static_cast<double>(c.tp) / pos : 0.0;
+  const double tnr = neg > 0.0 ? static_cast<double>(c.tn) / neg : 0.0;
+  return 0.5 * (tpr + tnr);
+}
+
+double f_beta(const Confusion& c, double beta) {
+  require(beta > 0.0, "f_beta: beta must be > 0");
+  const double p = precision(c);
+  const double r = recall(c);
+  const double b2 = beta * beta;
+  const double denom = b2 * p + r;
+  return denom > 0.0 ? (1.0 + b2) * p * r / denom : 0.0;
+}
+
+double fpr_at_tpr(const std::vector<double>& scores,
+                  const std::vector<int>& y_true, double min_tpr) {
+  require(scores.size() == y_true.size() && !scores.empty(), "fpr_at_tpr: bad inputs");
+  require(min_tpr > 0.0 && min_tpr <= 1.0, "fpr_at_tpr: min_tpr out of (0,1]");
+
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+  double pos = 0.0, neg = 0.0;
+  for (int v : y_true) (v == 1 ? pos : neg) += 1.0;
+  if (pos == 0.0) return 0.0;
+
+  double tp = 0.0, fp = 0.0;
+  double best = 1.0;
+  bool reached = false;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (y_true[order[i]] == 1)
+      tp += 1.0;
+    else
+      fp += 1.0;
+    if (i + 1 < order.size() && scores[order[i + 1]] == scores[order[i]]) continue;
+    if (tp / pos >= min_tpr) {
+      best = std::min(best, neg > 0.0 ? fp / neg : 0.0);
+      reached = true;
+    }
+  }
+  return reached ? best : 1.0;
+}
+
+std::size_t detection_delay(const std::vector<double>& scores, double threshold,
+                            std::size_t attack_start) {
+  require(attack_start < scores.size(), "detection_delay: start out of range");
+  for (std::size_t i = attack_start; i < scores.size(); ++i)
+    if (scores[i] > threshold) return i - attack_start;
+  return scores.size();
+}
+
+BootstrapCi bootstrap_f1_ci(const std::vector<int>& y_pred,
+                            const std::vector<int>& y_true,
+                            std::size_t n_resamples, double alpha,
+                            std::uint64_t seed) {
+  require(y_pred.size() == y_true.size() && !y_pred.empty(),
+          "bootstrap_f1_ci: bad inputs");
+  require(n_resamples >= 10, "bootstrap_f1_ci: too few resamples");
+  require(alpha > 0.0 && alpha < 1.0, "bootstrap_f1_ci: alpha out of (0,1)");
+
+  BootstrapCi out;
+  out.point = f1_score(y_pred, y_true);
+
+  Rng rng(seed);
+  const std::size_t n = y_pred.size();
+  std::vector<double> stats(n_resamples);
+  for (std::size_t r = 0; r < n_resamples; ++r) {
+    Confusion c;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto k = static_cast<std::size_t>(
+          rng.randint(0, static_cast<std::int64_t>(n) - 1));
+      if (y_true[k] == 1)
+        (y_pred[k] == 1 ? c.tp : c.fn)++;
+      else
+        (y_pred[k] == 1 ? c.fp : c.tn)++;
+    }
+    stats[r] = f1_score(c);
+  }
+  std::sort(stats.begin(), stats.end());
+  const auto lo_idx = static_cast<std::size_t>(
+      (alpha / 2.0) * static_cast<double>(n_resamples - 1));
+  const auto hi_idx = static_cast<std::size_t>(
+      (1.0 - alpha / 2.0) * static_cast<double>(n_resamples - 1));
+  out.lo = stats[lo_idx];
+  out.hi = stats[hi_idx];
+  return out;
+}
+
+}  // namespace cnd::eval

@@ -1,0 +1,50 @@
+// Extended classification metrics beyond the paper's F1 / PR-AUC.
+//
+// MCC and balanced accuracy are the imbalance-robust alternatives reviewers
+// ask for; FPR@TPR is the operating-point metric IDS deployments actually
+// budget against ("what false-alarm rate do I pay for 95% detection?").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eval/metrics.hpp"
+
+namespace cnd::eval {
+
+/// Matthews correlation coefficient in [-1, 1]; 0 for degenerate tables.
+double mcc(const Confusion& c);
+
+/// (TPR + TNR) / 2.
+double balanced_accuracy(const Confusion& c);
+
+/// F-beta score (beta > 1 weights recall higher). beta = 1 reduces to F1.
+double f_beta(const Confusion& c, double beta);
+
+/// Lowest achievable false-positive rate among operating points with true-
+/// positive rate >= `min_tpr`, sweeping thresholds over `scores`. Returns
+/// 1.0 when no threshold reaches the requested TPR.
+double fpr_at_tpr(const std::vector<double>& scores,
+                  const std::vector<int>& y_true, double min_tpr);
+
+/// Detection delay: given scores in stream order and a threshold, the index
+/// of the first alarm at or after `attack_start`, minus attack_start.
+/// Returns scores.size() when the attack is never flagged.
+std::size_t detection_delay(const std::vector<double>& scores, double threshold,
+                            std::size_t attack_start);
+
+struct BootstrapCi {
+  double point = 0.0;  ///< F1 on the full sample.
+  double lo = 0.0;     ///< lower percentile bound.
+  double hi = 0.0;     ///< upper percentile bound.
+};
+
+/// Percentile-bootstrap confidence interval for F1: resample
+/// (prediction, label) pairs with replacement `n_resamples` times.
+/// `alpha` = 0.05 gives a 95% interval. Deterministic given `seed`.
+BootstrapCi bootstrap_f1_ci(const std::vector<int>& y_pred,
+                            const std::vector<int>& y_true,
+                            std::size_t n_resamples = 1000, double alpha = 0.05,
+                            std::uint64_t seed = 1337);
+
+}  // namespace cnd::eval

@@ -1,0 +1,85 @@
+#include "eval/report.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "tensor/assert.hpp"
+
+namespace cnd::eval {
+
+FamilyReport family_breakdown(const std::vector<double>& scores,
+                              const std::vector<int>& y_true,
+                              const std::vector<int>& family,
+                              const std::vector<std::string>& class_names,
+                              double threshold) {
+  require(scores.size() == y_true.size() && scores.size() == family.size(),
+          "family_breakdown: size mismatch");
+  require(!scores.empty(), "family_breakdown: empty inputs");
+
+  struct Acc {
+    std::size_t count = 0, flagged = 0;
+    double score_sum = 0.0;
+  };
+  std::map<int, Acc> accs;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    require((family[i] == -1) == (y_true[i] == 0),
+            "family_breakdown: family/label inconsistency");
+    Acc& a = accs[family[i]];
+    ++a.count;
+    a.score_sum += scores[i];
+    a.flagged += (scores[i] > threshold);
+  }
+
+  FamilyReport rep;
+  rep.threshold = threshold;
+  for (const auto& [fam, a] : accs) {
+    FamilyStat st;
+    st.family = fam;
+    if (fam == -1) {
+      st.name = "normal";
+    } else {
+      require(static_cast<std::size_t>(fam) < class_names.size(),
+              "family_breakdown: family id out of range");
+      st.name = class_names[static_cast<std::size_t>(fam)];
+    }
+    st.count = a.count;
+    st.mean_score = a.score_sum / static_cast<double>(a.count);
+    st.recall = static_cast<double>(a.flagged) / static_cast<double>(a.count);
+    rep.families.push_back(std::move(st));
+  }
+  // std::map ordering already puts -1 (normal) first, families ascending.
+  return rep;
+}
+
+int FamilyReport::hardest_family() const {
+  int hardest = -1;
+  double worst = 2.0;
+  std::size_t worst_count = 0;
+  for (const auto& f : families) {
+    if (f.family < 0) continue;
+    if (f.recall < worst || (f.recall == worst && f.count > worst_count)) {
+      worst = f.recall;
+      worst_count = f.count;
+      hardest = f.family;
+    }
+  }
+  return hardest;
+}
+
+std::string FamilyReport::to_markdown() const {
+  std::ostringstream os;
+  os << "| family | count | mean score | detection rate |\n";
+  os << "|---|---:|---:|---:|\n";
+  os.precision(4);
+  os << std::fixed;
+  for (const auto& f : families) {
+    os << "| " << f.name << " | " << f.count << " | " << f.mean_score << " | "
+       << f.recall;
+    if (f.family == -1) os << " (FPR)";
+    os << " |\n";
+  }
+  return os.str();
+}
+
+}  // namespace cnd::eval

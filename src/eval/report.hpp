@@ -1,0 +1,43 @@
+// Per-family diagnostic reports.
+//
+// Aggregate metrics hide which attacks a detector actually misses; this
+// module breaks scored test sets down by attack family: per-family recall
+// at a fixed operating point, family-conditional score statistics, and a
+// markdown rendering for reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cnd::eval {
+
+struct FamilyStat {
+  int family = -1;               ///< attack family id (-1 = normal traffic).
+  std::string name;              ///< family name (or "normal").
+  std::size_t count = 0;
+  double mean_score = 0.0;
+  double recall = 0.0;           ///< detection rate at the given threshold
+                                 ///< (for family -1: false-positive rate).
+};
+
+struct FamilyReport {
+  double threshold = 0.0;
+  std::vector<FamilyStat> families;  ///< normal first, then ids ascending.
+
+  /// The family with the worst recall (ties broken by size). Returns -1 if
+  /// there are no attack rows.
+  int hardest_family() const;
+
+  /// Render as a markdown table.
+  std::string to_markdown() const;
+};
+
+/// Build a report from scores, binary labels, per-row family ids (-1 =
+/// normal) and class names (indexed by family id).
+FamilyReport family_breakdown(const std::vector<double>& scores,
+                              const std::vector<int>& y_true,
+                              const std::vector<int>& family,
+                              const std::vector<std::string>& class_names,
+                              double threshold);
+
+}  // namespace cnd::eval

@@ -1,0 +1,31 @@
+// Anomaly-score thresholding.
+//
+// The paper uses Best-F [24] (OmniAnomaly's protocol): sweep every candidate
+// threshold induced by the observed scores and keep the one maximizing F1.
+// A label-free quantile alternative is provided for the thresholding
+// ablation bench.
+#pragma once
+
+#include <vector>
+
+namespace cnd::eval {
+
+struct ThresholdResult {
+  double threshold = 0.0;
+  double f1 = 0.0;
+};
+
+/// Best-F: maximize F1 over all thresholds of the form "predict attack when
+/// score > t", with t taken from the distinct observed scores (plus one
+/// below the minimum). O(n log n).
+ThresholdResult best_f_threshold(const std::vector<double>& scores,
+                                 const std::vector<int>& y_true);
+
+/// Label-free alternative: threshold at the q-quantile of the scores of the
+/// (assumed mostly normal) calibration set.
+double quantile_threshold(std::vector<double> calibration_scores, double q);
+
+/// Apply: predictions are score > threshold.
+std::vector<int> apply_threshold(const std::vector<double>& scores, double threshold);
+
+}  // namespace cnd::eval

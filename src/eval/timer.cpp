@@ -1,0 +1,4 @@
+#include "eval/timer.hpp"
+
+// Header-only; this TU exists so cnd_eval always has at least one object
+// file and the header is compiled standalone at least once.

@@ -1,0 +1,23 @@
+// Wall-clock timing helper for the overhead analysis (Table IV).
+#pragma once
+
+#include <chrono>
+
+namespace cnd::eval {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed milliseconds since construction or last reset().
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace cnd::eval

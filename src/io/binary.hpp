@@ -1,0 +1,39 @@
+// Minimal binary serialization primitives for model artifacts.
+//
+// Little-endian, host-order doubles (artifacts are machine-local deployment
+// files, not interchange formats); every stream starts with a magic tag and
+// a format version so stale artifacts fail loudly instead of mis-loading.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace cnd::io {
+
+inline constexpr std::uint32_t kMagic = 0xC9D51D50;  // "CND-IDS" tag
+inline constexpr std::uint32_t kVersion = 1;
+
+void write_header(std::ostream& os);
+/// Throws std::runtime_error on magic/version mismatch.
+void read_header(std::istream& is);
+
+void write_u64(std::ostream& os, std::uint64_t v);
+std::uint64_t read_u64(std::istream& is);
+
+void write_f64(std::ostream& os, double v);
+double read_f64(std::istream& is);
+
+void write_string(std::ostream& os, const std::string& s);
+std::string read_string(std::istream& is);
+
+void write_vec(std::ostream& os, const std::vector<double>& v);
+std::vector<double> read_vec(std::istream& is);
+
+void write_matrix(std::ostream& os, const Matrix& m);
+Matrix read_matrix(std::istream& is);
+
+}  // namespace cnd::io

@@ -1,0 +1,134 @@
+#include "io/model_io.hpp"
+
+#include <fstream>
+
+#include "io/binary.hpp"
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
+#include "tensor/assert.hpp"
+#include "eval/threshold.hpp"
+
+namespace cnd::io {
+
+namespace {
+
+// Layer type tags in the artifact format.
+constexpr std::uint64_t kLinear = 1, kRelu = 2, kTanh = 3, kSigmoid = 4;
+
+}  // namespace
+
+void write_sequential(std::ostream& os, nn::Sequential& net) {
+  // Sequential does not expose its layer list, so the writer reconstructs
+  // the structure from the Param list (each Linear contributes a (W, b)
+  // pair) and assumes the library's canonical encoder shape
+  // [Linear, ReLU]* Linear — which is what every CFE encoder is. The
+  // artifact format itself supports Tanh/Sigmoid tags for readers.
+  auto params = net.params();
+  require(params.size() % 2 == 0 && !params.empty(),
+          "write_sequential: unexpected parameter layout");
+  const std::size_t n_linear = params.size() / 2;
+  write_u64(os, 2 * n_linear - 1);  // layer count: Linear + interleaved ReLU
+  for (std::size_t l = 0; l < n_linear; ++l) {
+    write_u64(os, kLinear);
+    write_matrix(os, *params[2 * l].value);      // W
+    write_matrix(os, *params[2 * l + 1].value);  // b
+    if (l + 1 < n_linear) write_u64(os, kRelu);
+  }
+}
+
+nn::Sequential read_sequential(std::istream& is) {
+  const std::uint64_t n_layers = read_u64(is);
+  require(n_layers >= 1 && n_layers < 1024, "read_sequential: bad layer count");
+  nn::Sequential net;
+  Rng dummy(0);
+  for (std::uint64_t l = 0; l < n_layers; ++l) {
+    const std::uint64_t tag = read_u64(is);
+    switch (tag) {
+      case kLinear: {
+        Matrix w = read_matrix(is);
+        Matrix b = read_matrix(is);
+        auto lin = std::make_unique<nn::Linear>(w.rows(), w.cols(), dummy);
+        lin->set_weights(w, b);
+        net.add(std::move(lin));
+        break;
+      }
+      case kRelu:
+        net.add(std::make_unique<nn::ReLU>());
+        break;
+      case kTanh:
+        net.add(std::make_unique<nn::Tanh>());
+        break;
+      case kSigmoid:
+        net.add(std::make_unique<nn::Sigmoid>());
+        break;
+      default:
+        throw std::runtime_error("read_sequential: unknown layer tag");
+    }
+  }
+  return net;
+}
+
+InferenceModel::InferenceModel(const core::CndIds& detector,
+                               const ml::StandardScaler& scaler, double threshold)
+    : pca_(detector.pca()), scaler_(scaler), threshold_(threshold) {
+  require(detector.pca().fitted(),
+          "InferenceModel: detector has not observed any experience");
+  // Deep-copy the encoder (Sequential copy ctor clones layers).
+  encoder_ = detector.cfe().autoencoder().encoder_copy();
+}
+
+Matrix InferenceModel::encode(const Matrix& x_raw) {
+  require(ready(), "InferenceModel::encode: empty model");
+  const Matrix x = scaler_.fitted() ? scaler_.transform(x_raw) : x_raw;
+  return encoder_.forward(x, /*train=*/false);
+}
+
+std::vector<double> InferenceModel::score(const Matrix& x_raw) {
+  require(ready(), "InferenceModel::score: empty model");
+  const Matrix x = scaler_.fitted() ? scaler_.transform(x_raw) : x_raw;
+  return pca_.score(encoder_.forward(x, /*train=*/false));
+}
+
+std::vector<int> InferenceModel::predict(const Matrix& x_raw) {
+  return eval::apply_threshold(score(x_raw), threshold_);
+}
+
+void InferenceModel::save(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  require(f.good(), "InferenceModel::save: cannot open " + path);
+  write_header(f);
+  // Encoder.
+  auto& self = const_cast<InferenceModel&>(*this);
+  write_sequential(f, self.encoder_);
+  // PCA.
+  write_vec(f, pca_.center());
+  write_matrix(f, pca_.components());
+  // Scaler (flag + stats).
+  write_u64(f, scaler_.fitted() ? 1 : 0);
+  if (scaler_.fitted()) {
+    write_vec(f, scaler_.mean());
+    write_vec(f, scaler_.stddev());
+  }
+  write_f64(f, threshold_);
+  require(f.good(), "InferenceModel::save: write failed");
+}
+
+InferenceModel InferenceModel::load(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  require(f.good(), "InferenceModel::load: cannot open " + path);
+  read_header(f);
+  InferenceModel m;
+  m.encoder_ = read_sequential(f);
+  auto mean = read_vec(f);
+  Matrix comps = read_matrix(f);
+  m.pca_ = ml::Pca(std::move(mean), std::move(comps));
+  if (read_u64(f) == 1) {
+    auto smean = read_vec(f);
+    auto sstd = read_vec(f);
+    m.scaler_ = ml::StandardScaler(std::move(smean), std::move(sstd));
+  }
+  m.threshold_ = read_f64(f);
+  return m;
+}
+
+}  // namespace cnd::io

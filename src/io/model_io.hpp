@@ -1,0 +1,57 @@
+// Serialization of trained models to deployment artifacts.
+//
+// An InferenceModel is the frozen scoring path of a trained CND-IDS
+// detector: feature scaler -> CFE encoder -> PCA FRE -> threshold. It is
+// everything a sensor needs at the edge; training state (decoder, Adam
+// moments, snapshots, replay buffers) deliberately stays behind.
+#pragma once
+
+#include <string>
+
+#include "core/cnd_ids.hpp"
+#include "ml/pca.hpp"
+#include "ml/scaler.hpp"
+#include "nn/sequential.hpp"
+
+namespace cnd::io {
+
+class InferenceModel {
+ public:
+  InferenceModel() = default;
+
+  /// Freeze a trained detector into a deployable artifact. `scaler` may be
+  /// unfitted when the pipeline feeds pre-scaled features.
+  InferenceModel(const core::CndIds& detector, const ml::StandardScaler& scaler,
+                 double threshold);
+
+  /// Anomaly score per raw input row (scaling applied when present).
+  std::vector<double> score(const Matrix& x_raw);
+
+  /// 0/1 verdicts via the stored threshold.
+  std::vector<int> predict(const Matrix& x_raw);
+
+  double threshold() const { return threshold_; }
+  bool has_scaler() const { return scaler_.fitted(); }
+  bool ready() const { return pca_.fitted(); }
+
+  /// The PCA head (read access, e.g. for core::explain_fre attribution).
+  const ml::Pca& pca() const { return pca_; }
+  /// Encode raw rows into the latent space the PCA head scores.
+  Matrix encode(const Matrix& x_raw);
+
+  void save(const std::string& path) const;
+  static InferenceModel load(const std::string& path);
+
+ private:
+  nn::Sequential encoder_;
+  ml::Pca pca_;
+  ml::StandardScaler scaler_;
+  double threshold_ = 0.0;
+};
+
+/// Serialize an MLP-style Sequential (Linear / ReLU / Tanh / Sigmoid
+/// layers). Throws std::invalid_argument on unsupported layer types.
+void write_sequential(std::ostream& os, nn::Sequential& net);
+nn::Sequential read_sequential(std::istream& is);
+
+}  // namespace cnd::io

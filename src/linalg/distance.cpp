@@ -1,0 +1,59 @@
+#include "linalg/distance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tensor/assert.hpp"
+
+namespace cnd::linalg {
+
+Matrix pairwise_dist(const Matrix& a, const Matrix& b) {
+  require(a.cols() == b.cols(), "pairwise_dist: feature mismatch");
+  Matrix d(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    auto ra = a.row(i);
+    for (std::size_t j = 0; j < b.rows(); ++j)
+      d(i, j) = std::sqrt(sq_dist(ra, b.row(j)));
+  }
+  return d;
+}
+
+Knn knn(const Matrix& query, const Matrix& ref, std::size_t k, bool exclude_self) {
+  require(query.cols() == ref.cols(), "knn: feature mismatch");
+  require(k > 0, "knn: k must be > 0");
+  const std::size_t avail = ref.rows() - (exclude_self ? 1 : 0);
+  require(k <= avail, "knn: k larger than reference set");
+
+  Knn out;
+  out.indices.resize(query.rows());
+  out.distances.resize(query.rows());
+
+  std::vector<std::pair<double, std::size_t>> cand(ref.rows());
+  for (std::size_t i = 0; i < query.rows(); ++i) {
+    auto q = query.row(i);
+    for (std::size_t j = 0; j < ref.rows(); ++j)
+      cand[j] = {sq_dist(q, ref.row(j)), j};
+    std::size_t skip = exclude_self ? 1 : 0;
+    std::partial_sort(cand.begin(), cand.begin() + static_cast<std::ptrdiff_t>(k + skip),
+                      cand.end());
+    auto& idx = out.indices[i];
+    auto& dst = out.distances[i];
+    idx.reserve(k);
+    dst.reserve(k);
+    for (std::size_t j = 0; j < k + skip && idx.size() < k; ++j) {
+      if (exclude_self && cand[j].second == i && cand[j].first == 0.0) continue;
+      idx.push_back(cand[j].second);
+      dst.push_back(std::sqrt(cand[j].first));
+    }
+    // If the self-match was not at distance zero duplicated, we may still
+    // need one more neighbour.
+    for (std::size_t j = k + skip; idx.size() < k && j < cand.size(); ++j) {
+      idx.push_back(cand[j].second);
+      dst.push_back(std::sqrt(cand[j].first));
+    }
+  }
+  return out;
+}
+
+}  // namespace cnd::linalg

@@ -1,0 +1,27 @@
+// Pairwise distances and k-nearest-neighbour queries (brute force).
+//
+// LOF, K-Means diagnostics, and the triplet miner all need distances; at the
+// dataset sizes this repository runs (tens of thousands of rows, tens of
+// features) brute force is the right tool.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace cnd::linalg {
+
+/// Full pairwise Euclidean distance matrix between rows of a and rows of b.
+Matrix pairwise_dist(const Matrix& a, const Matrix& b);
+
+/// Indices (and distances) of the k nearest rows of `ref` for each row of
+/// `query`, excluding exact self-matches when `exclude_self` and the two
+/// matrices are the same object.
+struct Knn {
+  std::vector<std::vector<std::size_t>> indices;  ///< per query row, size k.
+  std::vector<std::vector<double>> distances;     ///< matching Euclidean dists.
+};
+Knn knn(const Matrix& query, const Matrix& ref, std::size_t k, bool exclude_self);
+
+}  // namespace cnd::linalg

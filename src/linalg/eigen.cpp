@@ -1,0 +1,89 @@
+#include "linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tensor/assert.hpp"
+
+namespace cnd::linalg {
+
+EigenResult eigen_symmetric(const Matrix& a, double sym_tol, int max_sweeps) {
+  require(a.rows() == a.cols(), "eigen_symmetric: matrix must be square");
+  const std::size_t n = a.rows();
+  require(n > 0, "eigen_symmetric: empty matrix");
+
+  // Symmetry check, relative to the matrix scale.
+  double scale = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) scale = std::max(scale, std::abs(a(i, j)));
+  const double tol = sym_tol * std::max(scale, 1.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      require(std::abs(a(i, j) - a(j, i)) <= tol, "eigen_symmetric: matrix not symmetric");
+
+  Matrix d = a;       // Working copy, driven to diagonal.
+  Matrix v = identity(n);  // Accumulated rotations.
+
+  const double conv_eps = 1e-14 * std::max(scale, 1.0);
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p)
+      for (std::size_t q = p + 1; q < n; ++q) off += d(p, q) * d(p, q);
+    if (std::sqrt(off) <= conv_eps) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = d(p, q);
+        if (std::abs(apq) <= conv_eps) continue;
+        const double app = d(p, p);
+        const double aqq = d(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // Apply rotation J(p,q,theta) on both sides of d: d = J^T d J.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dkp = d(k, p);
+          const double dkq = d(k, q);
+          d(k, p) = c * dkp - s * dkq;
+          d(k, q) = s * dkp + c * dkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dpk = d(p, k);
+          const double dqk = d(q, k);
+          d(p, k) = c * dpk - s * dqk;
+          d(q, k) = s * dpk + c * dqk;
+        }
+        // Accumulate eigenvectors: v = v J.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs descending by eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<double> diag(n);
+  for (std::size_t i = 0; i < n; ++i) diag[i] = d(i, i);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return diag[x] > diag[y]; });
+
+  EigenResult res;
+  res.values.resize(n);
+  res.vectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    res.values[j] = diag[order[j]];
+    for (std::size_t i = 0; i < n; ++i) res.vectors(i, j) = v(i, order[j]);
+  }
+  return res;
+}
+
+}  // namespace cnd::linalg

@@ -1,0 +1,73 @@
+#include "linalg/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/assert.hpp"
+
+namespace cnd::linalg {
+
+Matrix covariance(const Matrix& x) {
+  require(x.rows() > 0, "covariance: empty matrix");
+  auto [c, mu] = center(x);
+  Matrix cov = matmul_at(c, c);
+  const double denom = x.rows() > 1 ? static_cast<double>(x.rows() - 1)
+                                    : 1.0;
+  cov *= 1.0 / denom;
+  // Force exact symmetry (matmul_at is symmetric up to rounding).
+  for (std::size_t i = 0; i < cov.rows(); ++i)
+    for (std::size_t j = i + 1; j < cov.cols(); ++j) {
+      const double v = 0.5 * (cov(i, j) + cov(j, i));
+      cov(i, j) = v;
+      cov(j, i) = v;
+    }
+  return cov;
+}
+
+std::pair<Matrix, std::vector<double>> center(const Matrix& x) {
+  auto mu = col_mean(x);
+  return {sub_rowvec(x, mu), mu};
+}
+
+double pearson(std::span<const double> a, std::span<const double> b) {
+  require(a.size() == b.size() && !a.empty(), "pearson: size mismatch/empty");
+  const double ma = mean(a);
+  const double mb = mean(b);
+  double num = 0.0, da = 0.0, db = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double xa = a[i] - ma;
+    const double xb = b[i] - mb;
+    num += xa * xb;
+    da += xa * xa;
+    db += xb * xb;
+  }
+  if (da <= 0.0 || db <= 0.0) return 0.0;
+  return num / std::sqrt(da * db);
+}
+
+double quantile(std::vector<double> v, double q) {
+  require(!v.empty(), "quantile: empty vector");
+  require(q >= 0.0 && q <= 1.0, "quantile: q out of [0,1]");
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double mean(std::span<const double> v) {
+  require(!v.empty(), "mean: empty vector");
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double stddev(std::span<const double> v) {
+  const double m = mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(v.size()));
+}
+
+}  // namespace cnd::linalg

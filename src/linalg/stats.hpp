@@ -1,0 +1,28 @@
+// Statistical helpers shared by PCA, the scalers, and the data generators.
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+namespace cnd::linalg {
+
+/// Sample covariance matrix (rows = observations). Uses ddof = 1 when
+/// rows > 1, else ddof = 0. Result is cols x cols, exactly symmetric.
+Matrix covariance(const Matrix& x);
+
+/// Center the matrix by its column means; returns {centered, means}.
+std::pair<Matrix, std::vector<double>> center(const Matrix& x);
+
+/// Pearson correlation between two equal-length vectors. Returns 0 when
+/// either vector is constant.
+double pearson(std::span<const double> a, std::span<const double> b);
+
+/// Quantile of a vector (linear interpolation), q in [0, 1].
+double quantile(std::vector<double> v, double q);
+
+/// Arithmetic mean of a vector.
+double mean(std::span<const double> v);
+
+/// Population standard deviation of a vector.
+double stddev(std::span<const double> v);
+
+}  // namespace cnd::linalg

@@ -1,0 +1,55 @@
+#include "linalg/svd.hpp"
+
+#include <cmath>
+
+#include "linalg/eigen.hpp"
+#include "tensor/assert.hpp"
+
+namespace cnd::linalg {
+
+SvdResult svd_thin(const Matrix& a, double rank_tol) {
+  require(a.rows() > 0 && a.cols() > 0, "svd_thin: empty matrix");
+  const bool tall = a.rows() >= a.cols();
+
+  // Eigendecompose the smaller Gram matrix.
+  const Matrix gram = tall ? matmul_at(a, a) : matmul_bt(a, a);
+  EigenResult eig = eigen_symmetric(gram);
+
+  const std::size_t r_full = gram.rows();
+  std::vector<double> sigma;
+  sigma.reserve(r_full);
+  const double smax = std::sqrt(std::max(eig.values.empty() ? 0.0 : eig.values[0], 0.0));
+  std::size_t r = 0;
+  for (std::size_t i = 0; i < r_full; ++i) {
+    const double s = std::sqrt(std::max(eig.values[i], 0.0));
+    if (s <= rank_tol * std::max(smax, 1e-300)) break;
+    sigma.push_back(s);
+    ++r;
+  }
+  require(r > 0, "svd_thin: matrix is numerically zero");
+
+  SvdResult out;
+  out.sigma = std::move(sigma);
+  if (tall) {
+    // gram = A^T A, eigenvectors are V. U = A V / sigma.
+    out.v = Matrix(a.cols(), r);
+    for (std::size_t i = 0; i < a.cols(); ++i)
+      for (std::size_t j = 0; j < r; ++j) out.v(i, j) = eig.vectors(i, j);
+    Matrix av = matmul(a, out.v);
+    out.u = Matrix(a.rows(), r);
+    for (std::size_t j = 0; j < r; ++j)
+      for (std::size_t i = 0; i < a.rows(); ++i) out.u(i, j) = av(i, j) / out.sigma[j];
+  } else {
+    // gram = A A^T, eigenvectors are U. V = A^T U / sigma.
+    out.u = Matrix(a.rows(), r);
+    for (std::size_t i = 0; i < a.rows(); ++i)
+      for (std::size_t j = 0; j < r; ++j) out.u(i, j) = eig.vectors(i, j);
+    Matrix atv = matmul_at(a, out.u);
+    out.v = Matrix(a.cols(), r);
+    for (std::size_t j = 0; j < r; ++j)
+      for (std::size_t i = 0; i < a.cols(); ++i) out.v(i, j) = atv(i, j) / out.sigma[j];
+  }
+  return out;
+}
+
+}  // namespace cnd::linalg

@@ -1,0 +1,24 @@
+// Thin singular value decomposition.
+//
+// Computed from the eigendecomposition of the smaller Gram matrix (A^T A or
+// A A^T), which is accurate enough for the well-conditioned, low-dimensional
+// problems in this repository (PCA bases, whitening).
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+namespace cnd::linalg {
+
+struct SvdResult {
+  Matrix u;                    ///< m x r, orthonormal columns.
+  std::vector<double> sigma;   ///< r singular values, descending.
+  Matrix v;                    ///< n x r, orthonormal columns (A = U S V^T).
+};
+
+/// Thin SVD of a (m x n). r = min(m, n); singular values below
+/// `rank_tol * sigma_max` are dropped along with their vectors. The default
+/// tolerance reflects the Gram-matrix route: eigenvalues carry ~1e-14
+/// relative error, so singular values are trustworthy to ~1e-7 relative.
+SvdResult svd_thin(const Matrix& a, double rank_tol = 1e-7);
+
+}  // namespace cnd::linalg

@@ -1,0 +1,60 @@
+#include "ml/ae_detector.hpp"
+
+#include <algorithm>
+
+#include "nn/losses.hpp"
+#include "tensor/assert.hpp"
+
+namespace cnd::ml {
+
+AeDetector::AeDetector(const AeDetectorConfig& cfg, std::uint64_t seed)
+    : cfg_(cfg), rng_(seed), opt_(cfg.lr) {
+  require(cfg.epochs > 0 && cfg.batch_size > 0, "AeDetector: bad schedule");
+}
+
+double AeDetector::fit(const Matrix& x) {
+  require(x.rows() >= 8, "AeDetector::fit: too few rows");
+  if (!ae_.initialized()) {
+    ae_ = nn::Autoencoder({.input_dim = x.cols(),
+                           .hidden_dim = cfg_.hidden_dim,
+                           .latent_dim = cfg_.latent_dim},
+                          rng_);
+  }
+  require(x.cols() == ae_.config().input_dim, "AeDetector::fit: width changed");
+
+  double last = 0.0;
+  for (std::size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    auto order = rng_.permutation(x.rows());
+    double sum = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < order.size(); start += cfg_.batch_size) {
+      const std::size_t end = std::min(start + cfg_.batch_size, order.size());
+      if (end - start < 2) break;
+      std::vector<std::size_t> idx(order.begin() + static_cast<std::ptrdiff_t>(start),
+                                   order.begin() + static_cast<std::ptrdiff_t>(end));
+      Matrix xb = x.take_rows(idx);
+      ae_.zero_grad();
+      Matrix h = ae_.encoder().forward(xb, true);
+      Matrix xhat = ae_.decoder().forward(h, true);
+      nn::LossGrad lg = nn::mse_loss(xhat, xb);
+      Matrix gh = ae_.decoder().backward(lg.grad);
+      ae_.encoder().backward(gh);
+      opt_.step(ae_.params());
+      sum += lg.loss;
+      ++batches;
+    }
+    last = sum / static_cast<double>(std::max<std::size_t>(batches, 1));
+  }
+  return last;
+}
+
+std::vector<double> AeDetector::score(const Matrix& x) {
+  require(fitted(), "AeDetector::score: not fitted");
+  const Matrix xhat = ae_.reconstruct(x);
+  std::vector<double> out(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i)
+    out[i] = sq_dist(x.row(i), xhat.row(i)) / static_cast<double>(x.cols());
+  return out;
+}
+
+}  // namespace cnd::ml

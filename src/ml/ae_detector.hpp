@@ -1,0 +1,45 @@
+// Autoencoder-reconstruction novelty detector.
+//
+// The standard deep ND baseline for IDS: train an MLP autoencoder on clean
+// normal flows with plain reconstruction loss, score by per-row
+// reconstruction MSE. Structurally this is "CND-IDS without the continual
+// parts and without PCA" — useful as a reference point for the ablation
+// story and as a strong static baseline in its own right.
+#pragma once
+
+#include <vector>
+
+#include "nn/autoencoder.hpp"
+#include "nn/optimizer.hpp"
+#include "tensor/rng.hpp"
+
+namespace cnd::ml {
+
+struct AeDetectorConfig {
+  std::size_t hidden_dim = 128;
+  std::size_t latent_dim = 16;  ///< bottleneck: reconstruction must compress.
+  std::size_t epochs = 20;
+  std::size_t batch_size = 128;
+  double lr = 1e-3;
+};
+
+class AeDetector {
+ public:
+  explicit AeDetector(const AeDetectorConfig& cfg = {}, std::uint64_t seed = 77);
+
+  /// Train on (assumed clean) reference rows. Returns final epoch mean loss.
+  double fit(const Matrix& x);
+
+  /// Per-row reconstruction MSE; higher = more anomalous.
+  std::vector<double> score(const Matrix& x);
+
+  bool fitted() const { return ae_.initialized(); }
+
+ private:
+  AeDetectorConfig cfg_;
+  Rng rng_;
+  nn::Autoencoder ae_;
+  nn::Adam opt_;
+};
+
+}  // namespace cnd::ml

@@ -1,0 +1,162 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "tensor/assert.hpp"
+
+namespace cnd::ml {
+
+namespace {
+
+/// Gini impurity of a class-count vector with `total` samples.
+double gini(const std::vector<double>& counts, double total) {
+  if (total <= 0.0) return 0.0;
+  double s = 1.0;
+  for (double c : counts) {
+    const double p = c / total;
+    s -= p * p;
+  }
+  return s;
+}
+
+}  // namespace
+
+void DecisionTree::fit(const Matrix& x, const std::vector<std::size_t>& y,
+                       std::size_t n_classes, Rng& rng) {
+  require(x.rows() == y.size() && x.rows() > 0, "DecisionTree::fit: bad inputs");
+  require(n_classes >= 2, "DecisionTree::fit: need >= 2 classes");
+  for (std::size_t v : y)
+    require(v < n_classes, "DecisionTree::fit: label out of range");
+
+  n_classes_ = n_classes;
+  depth_ = 0;
+  nodes_.clear();
+  nodes_.reserve(2 * x.rows());
+  std::vector<std::size_t> idx(x.rows());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  build(x, y, idx, 0, idx.size(), 0, n_classes, rng);
+}
+
+std::size_t DecisionTree::build(const Matrix& x, const std::vector<std::size_t>& y,
+                                std::vector<std::size_t>& idx, std::size_t lo,
+                                std::size_t hi, std::size_t depth,
+                                std::size_t n_classes, Rng& rng) {
+  const std::size_t me = nodes_.size();
+  nodes_.push_back(Node{});
+  depth_ = std::max(depth_, depth);
+
+  // Leaf distribution (always stored; interior nodes keep it empty later).
+  std::vector<double> counts(n_classes, 0.0);
+  for (std::size_t i = lo; i < hi; ++i) counts[y[idx[i]]] += 1.0;
+  const double total = static_cast<double>(hi - lo);
+
+  auto make_leaf = [&]() {
+    auto& frac = nodes_[me].class_frac;
+    frac = counts;
+    for (double& v : frac) v /= total;
+    return me;
+  };
+
+  const double node_gini = gini(counts, total);
+  if (hi - lo < cfg_.min_samples_split || depth >= cfg_.max_depth ||
+      node_gini <= 0.0)
+    return make_leaf();
+
+  // Candidate features: all, or a random subset of max_features.
+  std::vector<std::size_t> feats(x.cols());
+  std::iota(feats.begin(), feats.end(), std::size_t{0});
+  std::size_t n_feats = x.cols();
+  if (cfg_.max_features > 0 && cfg_.max_features < x.cols()) {
+    rng.shuffle(feats);
+    n_feats = cfg_.max_features;
+  }
+
+  // Best split by exhaustive sorted scan per candidate feature. The best
+  // candidate is taken even when it does not immediately reduce impurity
+  // (standard CART greediness): XOR-like structure only pays off a level
+  // deeper, and the depth cap bounds fruitless recursion.
+  int best_feat = -1;
+  double best_thr = 0.0;
+  double best_score = std::numeric_limits<double>::infinity();
+  std::vector<std::pair<double, std::size_t>> vals(hi - lo);
+
+  for (std::size_t fi = 0; fi < n_feats; ++fi) {
+    const std::size_t f = feats[fi];
+    for (std::size_t i = lo; i < hi; ++i)
+      vals[i - lo] = {x(idx[i], f), y[idx[i]]};
+    std::sort(vals.begin(), vals.end());
+    if (vals.front().first == vals.back().first) continue;
+
+    std::vector<double> left_counts(n_classes, 0.0);
+    std::vector<double> right_counts = counts;
+    for (std::size_t i = 0; i + 1 < vals.size(); ++i) {
+      left_counts[vals[i].second] += 1.0;
+      right_counts[vals[i].second] -= 1.0;
+      if (vals[i + 1].first == vals[i].first) continue;
+      const double nl = static_cast<double>(i + 1);
+      const double nr = total - nl;
+      if (nl < cfg_.min_samples_leaf || nr < cfg_.min_samples_leaf) continue;
+      const double score =
+          (nl * gini(left_counts, nl) + nr * gini(right_counts, nr)) / total;
+      if (score < best_score - 1e-12) {
+        best_score = score;
+        best_feat = static_cast<int>(f);
+        best_thr = 0.5 * (vals[i].first + vals[i + 1].first);
+      }
+    }
+  }
+  if (best_feat < 0) return make_leaf();
+
+  const auto mid_it =
+      std::partition(idx.begin() + static_cast<std::ptrdiff_t>(lo),
+                     idx.begin() + static_cast<std::ptrdiff_t>(hi),
+                     [&](std::size_t r) {
+                       return x(r, static_cast<std::size_t>(best_feat)) <= best_thr;
+                     });
+  const auto mid = static_cast<std::size_t>(mid_it - idx.begin());
+  if (mid == lo || mid == hi) return make_leaf();
+
+  nodes_[me].feature = best_feat;
+  nodes_[me].threshold = best_thr;
+  const std::size_t l = build(x, y, idx, lo, mid, depth + 1, n_classes, rng);
+  const std::size_t r = build(x, y, idx, mid, hi, depth + 1, n_classes, rng);
+  nodes_[me].left = l;
+  nodes_[me].right = r;
+  return me;
+}
+
+const DecisionTree::Node& DecisionTree::descend(std::span<const double> row) const {
+  std::size_t node = 0;
+  while (nodes_[node].feature >= 0)
+    node = row[static_cast<std::size_t>(nodes_[node].feature)] <=
+                   nodes_[node].threshold
+               ? nodes_[node].left
+               : nodes_[node].right;
+  return nodes_[node];
+}
+
+std::vector<std::size_t> DecisionTree::predict(const Matrix& x) const {
+  require(fitted(), "DecisionTree::predict: not fitted");
+  std::vector<std::size_t> out(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const auto& frac = descend(x.row(i)).class_frac;
+    out[i] = static_cast<std::size_t>(
+        std::max_element(frac.begin(), frac.end()) - frac.begin());
+  }
+  return out;
+}
+
+Matrix DecisionTree::predict_proba(const Matrix& x) const {
+  require(fitted(), "DecisionTree::predict_proba: not fitted");
+  Matrix out(x.rows(), n_classes_);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const auto& frac = descend(x.row(i)).class_frac;
+    for (std::size_t c = 0; c < n_classes_; ++c) out(i, c) = frac[c];
+  }
+  return out;
+}
+
+}  // namespace cnd::ml

@@ -1,0 +1,63 @@
+// CART-style binary decision tree classifier (Gini impurity).
+//
+// Substrate for the RandomForest below; both exist so the Fig-1 bench can
+// pit the *classic* supervised ML-IDS (random forests are the de-facto
+// standard in the IDS literature) against unseen attack families, not just
+// an MLP.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+#include "tensor/rng.hpp"
+
+namespace cnd::ml {
+
+struct DecisionTreeConfig {
+  std::size_t max_depth = 12;
+  std::size_t min_samples_split = 2;
+  std::size_t min_samples_leaf = 1;
+  /// Features examined per split; 0 = all (single tree), sqrt(d) typical in
+  /// a forest.
+  std::size_t max_features = 0;
+};
+
+class DecisionTree {
+ public:
+  explicit DecisionTree(const DecisionTreeConfig& cfg = {}) : cfg_(cfg) {}
+
+  /// Fit on rows of x with labels y in [0, n_classes). `rng` drives feature
+  /// subsampling (used by forests; harmless for single trees).
+  void fit(const Matrix& x, const std::vector<std::size_t>& y,
+           std::size_t n_classes, Rng& rng);
+
+  std::vector<std::size_t> predict(const Matrix& x) const;
+
+  /// Per-class probability (leaf class frequencies) for each row.
+  Matrix predict_proba(const Matrix& x) const;
+
+  bool fitted() const { return !nodes_.empty(); }
+  std::size_t n_nodes() const { return nodes_.size(); }
+  std::size_t depth() const { return depth_; }
+
+ private:
+  struct Node {
+    int feature = -1;      ///< -1 = leaf.
+    double threshold = 0.0;
+    std::size_t left = 0, right = 0;
+    std::vector<double> class_frac;  ///< leaf class distribution.
+  };
+
+  std::size_t build(const Matrix& x, const std::vector<std::size_t>& y,
+                    std::vector<std::size_t>& idx, std::size_t lo, std::size_t hi,
+                    std::size_t depth, std::size_t n_classes, Rng& rng);
+  const Node& descend(std::span<const double> row) const;
+
+  DecisionTreeConfig cfg_;
+  std::vector<Node> nodes_;
+  std::size_t n_classes_ = 0;
+  std::size_t depth_ = 0;
+};
+
+}  // namespace cnd::ml

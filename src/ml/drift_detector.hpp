@@ -1,0 +1,58 @@
+// Online drift detectors over univariate statistics (e.g. anomaly-score
+// streams): Page-Hinkley and a sliding-window mean-shift test.
+//
+// Used by the streaming CND-IDS wrapper to decide *when* to trigger an
+// adaptation round instead of adapting on a fixed window schedule.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+namespace cnd::ml {
+
+/// Page-Hinkley test for an upward shift in the mean of a stream.
+/// Alarms when the cumulative positive deviation from the running mean
+/// exceeds `lambda`. `delta` is the magnitude tolerance (shifts smaller
+/// than delta are ignored).
+class PageHinkley {
+ public:
+  explicit PageHinkley(double delta = 0.05, double lambda = 50.0,
+                       std::size_t min_samples = 30);
+
+  /// Feed one observation; returns true if drift is signaled (the detector
+  /// resets itself after signaling).
+  bool update(double value);
+
+  void reset();
+  std::size_t n_seen() const { return n_; }
+  double statistic() const { return mt_ - min_mt_; }
+
+ private:
+  double delta_, lambda_;
+  std::size_t min_samples_;
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double mt_ = 0.0;      ///< cumulative deviation.
+  double min_mt_ = 0.0;  ///< running minimum of mt.
+};
+
+/// Two-window mean-shift detector: compares the mean of the most recent
+/// `window` values against the mean of the `window` values before them and
+/// alarms when they differ by more than `threshold` pooled standard
+/// deviations. A pragmatic stand-in for ADWIN at fixed memory.
+class WindowShiftDetector {
+ public:
+  explicit WindowShiftDetector(std::size_t window = 64, double threshold = 3.0);
+
+  bool update(double value);
+  void reset();
+  std::size_t n_seen() const { return n_; }
+
+ private:
+  std::size_t window_;
+  double threshold_;
+  std::size_t n_ = 0;
+  std::deque<double> buf_;  ///< at most 2 * window values.
+};
+
+}  // namespace cnd::ml

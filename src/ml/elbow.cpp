@@ -1,0 +1,49 @@
+#include "ml/elbow.hpp"
+
+#include <algorithm>
+
+#include "ml/kmeans.hpp"
+#include "tensor/assert.hpp"
+
+namespace cnd::ml {
+
+std::size_t elbow_k(const Matrix& x, Rng& rng, std::size_t k_min,
+                    std::size_t k_max, std::size_t max_points) {
+  require(k_min >= 2 && k_max >= k_min, "elbow_k: invalid k range");
+  require(x.rows() > 0, "elbow_k: empty data");
+  k_max = std::min(k_max, x.rows());
+  if (k_max < k_min) return std::min<std::size_t>(x.rows(), k_min);
+
+  Matrix sample = x;
+  if (x.rows() > max_points) {
+    auto perm = rng.permutation(x.rows());
+    perm.resize(max_points);
+    sample = x.take_rows(perm);
+  }
+
+  std::vector<double> inertia;
+  for (std::size_t k = k_min; k <= k_max; ++k) {
+    KMeans km({.k = k, .max_iters = 50, .tol = 1e-5});
+    km.fit(sample, rng);
+    inertia.push_back(km.inertia(sample));
+  }
+  if (inertia.size() < 3) return k_min;
+
+  // Normalize and find the largest positive second difference (sharpest
+  // bend in the decreasing inertia curve).
+  const double i0 = inertia.front();
+  const double scale = i0 > 0.0 ? i0 : 1.0;
+  std::size_t best = k_min;
+  double best_curv = -1.0;
+  for (std::size_t i = 1; i + 1 < inertia.size(); ++i) {
+    const double curv =
+        (inertia[i - 1] - 2.0 * inertia[i] + inertia[i + 1]) / scale;
+    if (curv > best_curv) {
+      best_curv = curv;
+      best = k_min + i;
+    }
+  }
+  return best;
+}
+
+}  // namespace cnd::ml

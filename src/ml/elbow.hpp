@@ -1,0 +1,19 @@
+// Elbow-method selection of the K-Means cluster count (the paper's choice
+// for the cluster-separation loss, citing Han et al.).
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/matrix.hpp"
+#include "tensor/rng.hpp"
+
+namespace cnd::ml {
+
+/// Fit K-Means for k in [k_min, k_max], compute the inertia curve, and
+/// return the k at the point of maximum curvature (largest second
+/// difference of the normalized inertia). Subsamples x to at most
+/// `max_points` rows for speed.
+std::size_t elbow_k(const Matrix& x, Rng& rng, std::size_t k_min = 2,
+                    std::size_t k_max = 10, std::size_t max_points = 2000);
+
+}  // namespace cnd::ml

@@ -1,0 +1,55 @@
+// Incremental PCA over a data stream.
+//
+// Maintains exact running first and second moments (Welford/Chan parallel
+// co-moment updates) so the principal basis can be refreshed at any point
+// without revisiting past batches — the streaming-deployment counterpart of
+// ml::Pca and the natural extension of the paper's per-experience PCA refit
+// (incDFM-style) to true per-batch operation.
+#pragma once
+
+#include <vector>
+
+#include "ml/pca.hpp"
+#include "tensor/matrix.hpp"
+
+namespace cnd::ml {
+
+class IncrementalPca {
+ public:
+  explicit IncrementalPca(const PcaConfig& cfg = {}) : cfg_(cfg) {}
+
+  /// Fold a batch of rows into the running moments. Feature width is fixed
+  /// by the first batch.
+  void partial_fit(const Matrix& x);
+
+  /// Recompute the principal basis from the current moments. Requires at
+  /// least 2 accumulated rows. Idempotent between partial_fit calls.
+  void refresh();
+
+  /// FRE anomaly score per row (requires refresh() after the last
+  /// partial_fit to be up to date; scores against the last refreshed basis).
+  std::vector<double> score(const Matrix& x) const;
+
+  Matrix transform(const Matrix& x) const;
+
+  std::size_t n_seen() const { return n_; }
+  std::size_t n_components() const;
+  bool fitted() const { return refreshed_; }
+
+  /// Exact covariance of everything seen so far (ddof = 1).
+  Matrix covariance() const;
+  const std::vector<double>& mean() const { return mean_; }
+
+ private:
+  PcaConfig cfg_;
+  std::size_t n_ = 0;
+  std::vector<double> mean_;
+  Matrix comoment_;  ///< sum of outer products of centered rows.
+
+  // Last refreshed basis (mirrors ml::Pca's internals).
+  bool refreshed_ = false;
+  std::vector<double> basis_mean_;
+  Matrix components_;
+};
+
+}  // namespace cnd::ml

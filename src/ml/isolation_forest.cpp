@@ -1,0 +1,111 @@
+#include "ml/isolation_forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/assert.hpp"
+
+namespace cnd::ml {
+
+double iforest_c(double n) {
+  if (n <= 1.0) return 0.0;
+  const double h = std::log(n - 1.0) + 0.5772156649015329;  // harmonic approx
+  return 2.0 * h - 2.0 * (n - 1.0) / n;
+}
+
+void IsolationForest::fit(const Matrix& x, Rng& rng) {
+  require(x.rows() >= 2, "IsolationForest::fit: need at least 2 points");
+  require(cfg_.n_trees > 0, "IsolationForest::fit: need at least 1 tree");
+  const std::size_t psi = std::min(cfg_.subsample, x.rows());
+  const auto max_depth =
+      static_cast<std::size_t>(std::ceil(std::log2(std::max<double>(2.0, psi))));
+  c_norm_ = std::max(iforest_c(static_cast<double>(psi)), 1e-12);
+
+  trees_.clear();
+  trees_.reserve(cfg_.n_trees);
+  for (std::size_t t = 0; t < cfg_.n_trees; ++t) {
+    // Sample psi distinct rows.
+    auto perm = rng.permutation(x.rows());
+    std::vector<std::size_t> idx(perm.begin(),
+                                 perm.begin() + static_cast<std::ptrdiff_t>(psi));
+    Tree tree;
+    tree.reserve(2 * psi);
+    build(tree, x, idx, 0, idx.size(), 0, max_depth, rng);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+std::size_t IsolationForest::build(Tree& tree, const Matrix& x,
+                                   std::vector<std::size_t>& idx, std::size_t lo,
+                                   std::size_t hi, std::size_t depth,
+                                   std::size_t max_depth, Rng& rng) {
+  const std::size_t me = tree.size();
+  tree.push_back(Node{});
+  tree[me].size = hi - lo;
+
+  if (hi - lo <= 1 || depth >= max_depth) return me;  // leaf
+
+  // Pick a feature with spread; give up after a few attempts (all-constant).
+  int feat = -1;
+  double fmin = 0.0, fmax = 0.0;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const auto f = static_cast<std::size_t>(
+        rng.randint(0, static_cast<std::int64_t>(x.cols()) - 1));
+    double mn = x(idx[lo], f), mx = mn;
+    for (std::size_t i = lo + 1; i < hi; ++i) {
+      const double v = x(idx[i], f);
+      mn = std::min(mn, v);
+      mx = std::max(mx, v);
+    }
+    if (mx > mn) {
+      feat = static_cast<int>(f);
+      fmin = mn;
+      fmax = mx;
+      break;
+    }
+  }
+  if (feat < 0) return me;  // all sampled features constant: leaf
+
+  const double thr = rng.uniform(fmin, fmax);
+  auto mid_it = std::partition(
+      idx.begin() + static_cast<std::ptrdiff_t>(lo),
+      idx.begin() + static_cast<std::ptrdiff_t>(hi),
+      [&](std::size_t r) { return x(r, static_cast<std::size_t>(feat)) < thr; });
+  const auto mid = static_cast<std::size_t>(mid_it - idx.begin());
+  if (mid == lo || mid == hi) return me;  // degenerate split: leaf
+
+  tree[me].feature = feat;
+  tree[me].threshold = thr;
+  const std::size_t l = build(tree, x, idx, lo, mid, depth + 1, max_depth, rng);
+  const std::size_t r = build(tree, x, idx, mid, hi, depth + 1, max_depth, rng);
+  tree[me].left = l;
+  tree[me].right = r;
+  return me;
+}
+
+double IsolationForest::path_length(const Tree& tree, std::span<const double> p) const {
+  std::size_t node = 0;
+  double depth = 0.0;
+  while (tree[node].feature >= 0) {
+    node = p[static_cast<std::size_t>(tree[node].feature)] < tree[node].threshold
+               ? tree[node].left
+               : tree[node].right;
+    depth += 1.0;
+  }
+  // Unresolved leaf of size s contributes the expected extra depth c(s).
+  return depth + iforest_c(static_cast<double>(tree[node].size));
+}
+
+std::vector<double> IsolationForest::score(const Matrix& x) const {
+  require(fitted(), "IsolationForest::score: not fitted");
+  std::vector<double> out(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    double h = 0.0;
+    for (const auto& t : trees_) h += path_length(t, x.row(i));
+    h /= static_cast<double>(trees_.size());
+    out[i] = std::pow(2.0, -h / c_norm_);
+  }
+  return out;
+}
+
+}  // namespace cnd::ml

@@ -1,0 +1,57 @@
+// Isolation Forest (Liu, Ting, Zhou 2008).
+//
+// Substrate for the Deep Isolation Forest baseline and usable standalone.
+// Trees isolate points with axis-parallel random splits; anomalies have
+// short average path lengths.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+#include "tensor/rng.hpp"
+
+namespace cnd::ml {
+
+struct IsolationForestConfig {
+  std::size_t n_trees = 100;
+  std::size_t subsample = 256;  ///< psi; capped at the dataset size.
+};
+
+class IsolationForest {
+ public:
+  explicit IsolationForest(const IsolationForestConfig& cfg = {}) : cfg_(cfg) {}
+
+  void fit(const Matrix& x, Rng& rng);
+
+  /// Standard iForest anomaly score in (0, 1): s = 2^{-E[h(x)] / c(psi)}.
+  /// Higher = more anomalous.
+  std::vector<double> score(const Matrix& x) const;
+
+  bool fitted() const { return !trees_.empty(); }
+
+ private:
+  struct Node {
+    int feature = -1;         ///< -1 marks a leaf.
+    double threshold = 0.0;
+    std::size_t left = 0;     ///< child indices within the tree's node pool.
+    std::size_t right = 0;
+    std::size_t size = 0;     ///< points that reached this node during build.
+  };
+  using Tree = std::vector<Node>;
+
+  std::size_t build(Tree& tree, const Matrix& x, std::vector<std::size_t>& idx,
+                    std::size_t lo, std::size_t hi, std::size_t depth,
+                    std::size_t max_depth, Rng& rng);
+  double path_length(const Tree& tree, std::span<const double> p) const;
+
+  IsolationForestConfig cfg_;
+  std::vector<Tree> trees_;
+  double c_norm_ = 1.0;  ///< c(psi), the expected path normalizer.
+};
+
+/// Average path length of an unsuccessful BST search among n points;
+/// the normalizing constant c(n) from the iForest paper.
+double iforest_c(double n);
+
+}  // namespace cnd::ml

@@ -1,0 +1,29 @@
+#include "ml/knn_detector.hpp"
+
+#include "linalg/distance.hpp"
+#include "tensor/assert.hpp"
+
+namespace cnd::ml {
+
+void KnnDetector::fit(const Matrix& x) {
+  require(x.rows() > cfg_.k, "KnnDetector::fit: need more than k rows");
+  ref_ = x;
+}
+
+std::vector<double> KnnDetector::score(const Matrix& x) const {
+  require(fitted(), "KnnDetector::score: not fitted");
+  const linalg::Knn nn = linalg::knn(x, ref_, cfg_.k, /*exclude_self=*/false);
+  std::vector<double> out(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    if (cfg_.use_kth_only) {
+      out[i] = nn.distances[i].back();
+    } else {
+      double s = 0.0;
+      for (double d : nn.distances[i]) s += d;
+      out[i] = s / static_cast<double>(nn.distances[i].size());
+    }
+  }
+  return out;
+}
+
+}  // namespace cnd::ml

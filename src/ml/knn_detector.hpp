@@ -1,0 +1,36 @@
+// k-nearest-neighbour distance novelty detector.
+//
+// Scores a flow by its mean distance to the k nearest reference (clean
+// normal) flows — the simplest non-parametric ND baseline and the usual
+// sanity check against which LOF's locality correction is measured.
+#pragma once
+
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace cnd::ml {
+
+struct KnnDetectorConfig {
+  std::size_t k = 10;
+  /// Use the k-th neighbour distance instead of the mean of all k.
+  bool use_kth_only = false;
+};
+
+class KnnDetector {
+ public:
+  explicit KnnDetector(const KnnDetectorConfig& cfg = {}) : cfg_(cfg) {}
+
+  void fit(const Matrix& x);
+
+  /// Mean (or k-th) neighbour distance; higher = more anomalous.
+  std::vector<double> score(const Matrix& x) const;
+
+  bool fitted() const { return !ref_.empty(); }
+
+ private:
+  KnnDetectorConfig cfg_;
+  Matrix ref_;
+};
+
+}  // namespace cnd::ml

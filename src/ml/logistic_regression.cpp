@@ -1,0 +1,96 @@
+#include "ml/logistic_regression.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/assert.hpp"
+
+namespace cnd::ml {
+
+namespace {
+
+double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+}  // namespace
+
+double LogisticRegression::fit(const Matrix& x, const std::vector<int>& y,
+                               Rng& rng) {
+  require(x.rows() == y.size() && x.rows() > 0, "LogisticRegression::fit: bad inputs");
+  for (int v : y)
+    require(v == 0 || v == 1, "LogisticRegression::fit: labels must be 0/1");
+
+  const std::size_t d = x.cols();
+  w_.assign(d, 0.0);
+  b_ = 0.0;
+
+  // Adam state.
+  std::vector<double> mw(d, 0.0), vw(d, 0.0);
+  double mb = 0.0, vb = 0.0;
+  const double beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+  long t = 0;
+
+  double last = 0.0;
+  for (std::size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    auto order = rng.permutation(x.rows());
+    double loss_sum = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < order.size(); start += cfg_.batch_size) {
+      const std::size_t end = std::min(start + cfg_.batch_size, order.size());
+      const double bn = static_cast<double>(end - start);
+      std::vector<double> gw(d, 0.0);
+      double gb = 0.0, loss = 0.0;
+      for (std::size_t k = start; k < end; ++k) {
+        auto r = x.row(order[k]);
+        double z = b_;
+        for (std::size_t j = 0; j < d; ++j) z += w_[j] * r[j];
+        const double p = sigmoid(z);
+        const double t_lbl = static_cast<double>(y[order[k]]);
+        loss += -(t_lbl * std::log(std::max(p, 1e-12)) +
+                  (1.0 - t_lbl) * std::log(std::max(1.0 - p, 1e-12)));
+        const double g = (p - t_lbl) / bn;
+        for (std::size_t j = 0; j < d; ++j) gw[j] += g * r[j];
+        gb += g;
+      }
+      for (std::size_t j = 0; j < d; ++j) gw[j] += cfg_.l2 * w_[j];
+
+      ++t;
+      const double bc1 = 1.0 - std::pow(beta1, static_cast<double>(t));
+      const double bc2 = 1.0 - std::pow(beta2, static_cast<double>(t));
+      for (std::size_t j = 0; j < d; ++j) {
+        mw[j] = beta1 * mw[j] + (1.0 - beta1) * gw[j];
+        vw[j] = beta2 * vw[j] + (1.0 - beta2) * gw[j] * gw[j];
+        w_[j] -= cfg_.lr * (mw[j] / bc1) / (std::sqrt(vw[j] / bc2) + eps);
+      }
+      mb = beta1 * mb + (1.0 - beta1) * gb;
+      vb = beta2 * vb + (1.0 - beta2) * gb * gb;
+      b_ -= cfg_.lr * (mb / bc1) / (std::sqrt(vb / bc2) + eps);
+
+      loss_sum += loss / bn;
+      ++batches;
+    }
+    last = loss_sum / static_cast<double>(std::max<std::size_t>(batches, 1));
+  }
+  return last;
+}
+
+std::vector<double> LogisticRegression::predict_proba(const Matrix& x) const {
+  require(fitted(), "LogisticRegression::predict_proba: not fitted");
+  require(x.cols() == w_.size(), "LogisticRegression: feature mismatch");
+  std::vector<double> out(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    auto r = x.row(i);
+    double z = b_;
+    for (std::size_t j = 0; j < w_.size(); ++j) z += w_[j] * r[j];
+    out[i] = sigmoid(z);
+  }
+  return out;
+}
+
+std::vector<int> LogisticRegression::predict(const Matrix& x, double threshold) const {
+  const auto p = predict_proba(x);
+  std::vector<int> out(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) out[i] = p[i] > threshold ? 1 : 0;
+  return out;
+}
+
+}  // namespace cnd::ml

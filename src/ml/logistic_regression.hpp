@@ -1,0 +1,44 @@
+// L2-regularized logistic regression (binary), trained by mini-batch Adam.
+//
+// The linear supervised reference point for the Fig-1 study: if even a
+// linear decision boundary scores well on known families, the collapse on
+// unknown families is a property of supervision itself, not of model class.
+#pragma once
+
+#include <vector>
+
+#include "tensor/matrix.hpp"
+#include "tensor/rng.hpp"
+
+namespace cnd::ml {
+
+struct LogisticRegressionConfig {
+  double l2 = 1e-4;
+  double lr = 0.05;
+  std::size_t epochs = 50;
+  std::size_t batch_size = 128;
+};
+
+class LogisticRegression {
+ public:
+  explicit LogisticRegression(const LogisticRegressionConfig& cfg = {})
+      : cfg_(cfg) {}
+
+  /// y in {0, 1}. Returns final epoch mean loss (cross-entropy + L2).
+  double fit(const Matrix& x, const std::vector<int>& y, Rng& rng);
+
+  /// P(y = 1 | x) per row.
+  std::vector<double> predict_proba(const Matrix& x) const;
+  std::vector<int> predict(const Matrix& x, double threshold = 0.5) const;
+
+  bool fitted() const { return !w_.empty(); }
+  const std::vector<double>& weights() const { return w_; }
+  double bias() const { return b_; }
+
+ private:
+  LogisticRegressionConfig cfg_;
+  std::vector<double> w_;
+  double b_ = 0.0;
+};
+
+}  // namespace cnd::ml

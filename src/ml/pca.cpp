@@ -1,0 +1,76 @@
+#include "ml/pca.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/eigen.hpp"
+#include "linalg/stats.hpp"
+#include "tensor/assert.hpp"
+
+namespace cnd::ml {
+
+Pca::Pca(std::vector<double> mean, Matrix components)
+    : mean_(std::move(mean)), components_(std::move(components)) {
+  require(!mean_.empty() && components_.rows() == mean_.size() &&
+              components_.cols() >= 1,
+          "Pca: invalid restored parameters");
+}
+
+void Pca::fit(const Matrix& x) {
+  require(x.rows() >= 2, "Pca::fit: need at least 2 rows");
+  require(cfg_.explained_variance > 0.0 && cfg_.explained_variance <= 1.0,
+          "Pca::fit: explained_variance must be in (0, 1]");
+
+  const Matrix cov = linalg::covariance(x);
+  mean_ = col_mean(x);
+  linalg::EigenResult eig = linalg::eigen_symmetric(cov);
+
+  double total = 0.0;
+  for (double v : eig.values) total += std::max(v, 0.0);
+  if (total <= 0.0) total = 1.0;  // Degenerate constant data: keep 1 component.
+
+  evr_.clear();
+  std::size_t k = 0;
+  double cum = 0.0;
+  const std::size_t cap = cfg_.max_components ? std::min(cfg_.max_components, x.cols())
+                                              : x.cols();
+  for (std::size_t i = 0; i < eig.values.size() && k < cap; ++i) {
+    const double ratio = std::max(eig.values[i], 0.0) / total;
+    evr_.push_back(ratio);
+    cum += ratio;
+    ++k;
+    if (cum >= cfg_.explained_variance) break;
+  }
+  CND_ASSERT(k >= 1);
+
+  components_ = Matrix(x.cols(), k);
+  for (std::size_t i = 0; i < x.cols(); ++i)
+    for (std::size_t j = 0; j < k; ++j) components_(i, j) = eig.vectors(i, j);
+}
+
+Matrix Pca::transform(const Matrix& x) const {
+  require(fitted(), "Pca::transform: not fitted");
+  require(x.cols() == mean_.size(), "Pca::transform: feature mismatch");
+  return matmul(sub_rowvec(x, mean_), components_);
+}
+
+Matrix Pca::inverse_transform(const Matrix& l) const {
+  require(fitted(), "Pca::inverse_transform: not fitted");
+  require(l.cols() == components_.cols(), "Pca::inverse_transform: width mismatch");
+  Matrix x = matmul_bt(l, components_);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    auto r = x.row(i);
+    for (std::size_t j = 0; j < x.cols(); ++j) r[j] += mean_[j];
+  }
+  return x;
+}
+
+std::vector<double> Pca::score(const Matrix& x) const {
+  require(fitted(), "Pca::score: not fitted");
+  const Matrix recon = inverse_transform(transform(x));
+  std::vector<double> s(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) s[i] = sq_dist(x.row(i), recon.row(i));
+  return s;
+}
+
+}  // namespace cnd::ml

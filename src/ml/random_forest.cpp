@@ -1,0 +1,62 @@
+#include "ml/random_forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/assert.hpp"
+
+namespace cnd::ml {
+
+void RandomForest::fit(const Matrix& x, const std::vector<std::size_t>& y,
+                       std::size_t n_classes, Rng& rng) {
+  require(x.rows() == y.size() && x.rows() > 0, "RandomForest::fit: bad inputs");
+  require(cfg_.n_trees > 0, "RandomForest::fit: need at least 1 tree");
+  n_classes_ = n_classes;
+
+  const std::size_t mtry =
+      cfg_.max_features > 0
+          ? cfg_.max_features
+          : std::max<std::size_t>(
+                1, static_cast<std::size_t>(std::sqrt(static_cast<double>(x.cols()))));
+
+  trees_.clear();
+  trees_.reserve(cfg_.n_trees);
+  for (std::size_t t = 0; t < cfg_.n_trees; ++t) {
+    // Bootstrap sample.
+    std::vector<std::size_t> boot(x.rows());
+    for (auto& v : boot)
+      v = static_cast<std::size_t>(
+          rng.randint(0, static_cast<std::int64_t>(x.rows()) - 1));
+    Matrix xb = x.take_rows(boot);
+    std::vector<std::size_t> yb(boot.size());
+    for (std::size_t i = 0; i < boot.size(); ++i) yb[i] = y[boot[i]];
+
+    DecisionTree tree({.max_depth = cfg_.max_depth,
+                       .min_samples_split = 2,
+                       .min_samples_leaf = cfg_.min_samples_leaf,
+                       .max_features = mtry});
+    tree.fit(xb, yb, n_classes, rng);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+Matrix RandomForest::predict_proba(const Matrix& x) const {
+  require(fitted(), "RandomForest::predict_proba: not fitted");
+  Matrix acc(x.rows(), n_classes_);
+  for (const auto& t : trees_) acc += t.predict_proba(x);
+  acc *= 1.0 / static_cast<double>(trees_.size());
+  return acc;
+}
+
+std::vector<std::size_t> RandomForest::predict(const Matrix& x) const {
+  const Matrix proba = predict_proba(x);
+  std::vector<std::size_t> out(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    auto r = proba.row(i);
+    out[i] = static_cast<std::size_t>(
+        std::max_element(r.begin(), r.end()) - r.begin());
+  }
+  return out;
+}
+
+}  // namespace cnd::ml

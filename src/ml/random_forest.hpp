@@ -1,0 +1,42 @@
+// Random forest classifier (bagged CART trees, sqrt-feature subsampling).
+//
+// The de-facto supervised ML-IDS baseline; used by the Fig-1 bench to show
+// that even the strongest classic supervised model collapses on attack
+// families absent from its training labels.
+#pragma once
+
+#include "ml/decision_tree.hpp"
+
+namespace cnd::ml {
+
+struct RandomForestConfig {
+  std::size_t n_trees = 50;
+  std::size_t max_depth = 12;
+  std::size_t min_samples_leaf = 1;
+  /// 0 = sqrt(n_features).
+  std::size_t max_features = 0;
+};
+
+class RandomForest {
+ public:
+  explicit RandomForest(const RandomForestConfig& cfg = {}) : cfg_(cfg) {}
+
+  void fit(const Matrix& x, const std::vector<std::size_t>& y,
+           std::size_t n_classes, Rng& rng);
+
+  /// Majority vote over trees.
+  std::vector<std::size_t> predict(const Matrix& x) const;
+
+  /// Mean per-class probability over trees.
+  Matrix predict_proba(const Matrix& x) const;
+
+  bool fitted() const { return !trees_.empty(); }
+  std::size_t n_trees() const { return trees_.size(); }
+
+ private:
+  RandomForestConfig cfg_;
+  std::vector<DecisionTree> trees_;
+  std::size_t n_classes_ = 0;
+};
+
+}  // namespace cnd::ml

@@ -1,0 +1,73 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+
+#include "tensor/assert.hpp"
+
+namespace cnd::nn {
+
+Matrix ReLU::forward(const Matrix& x, bool train) {
+  if (train) x_cache_ = x;
+  Matrix y = x;
+  for (std::size_t i = 0; i < y.rows(); ++i)
+    for (double& v : y.row(i)) v = v > 0.0 ? v : 0.0;
+  return y;
+}
+
+Matrix ReLU::backward(const Matrix& grad_out) {
+  require(grad_out.same_shape(x_cache_), "ReLU::backward: shape mismatch");
+  Matrix g = grad_out;
+  for (std::size_t i = 0; i < g.rows(); ++i) {
+    auto gr = g.row(i);
+    auto xr = x_cache_.row(i);
+    for (std::size_t j = 0; j < g.cols(); ++j)
+      if (xr[j] <= 0.0) gr[j] = 0.0;
+  }
+  return g;
+}
+
+std::unique_ptr<Layer> ReLU::clone() const { return std::make_unique<ReLU>(); }
+
+Matrix Tanh::forward(const Matrix& x, bool train) {
+  Matrix y = x;
+  for (std::size_t i = 0; i < y.rows(); ++i)
+    for (double& v : y.row(i)) v = std::tanh(v);
+  if (train) y_cache_ = y;
+  return y;
+}
+
+Matrix Tanh::backward(const Matrix& grad_out) {
+  require(grad_out.same_shape(y_cache_), "Tanh::backward: shape mismatch");
+  Matrix g = grad_out;
+  for (std::size_t i = 0; i < g.rows(); ++i) {
+    auto gr = g.row(i);
+    auto yr = y_cache_.row(i);
+    for (std::size_t j = 0; j < g.cols(); ++j) gr[j] *= 1.0 - yr[j] * yr[j];
+  }
+  return g;
+}
+
+std::unique_ptr<Layer> Tanh::clone() const { return std::make_unique<Tanh>(); }
+
+Matrix Sigmoid::forward(const Matrix& x, bool train) {
+  Matrix y = x;
+  for (std::size_t i = 0; i < y.rows(); ++i)
+    for (double& v : y.row(i)) v = 1.0 / (1.0 + std::exp(-v));
+  if (train) y_cache_ = y;
+  return y;
+}
+
+Matrix Sigmoid::backward(const Matrix& grad_out) {
+  require(grad_out.same_shape(y_cache_), "Sigmoid::backward: shape mismatch");
+  Matrix g = grad_out;
+  for (std::size_t i = 0; i < g.rows(); ++i) {
+    auto gr = g.row(i);
+    auto yr = y_cache_.row(i);
+    for (std::size_t j = 0; j < g.cols(); ++j) gr[j] *= yr[j] * (1.0 - yr[j]);
+  }
+  return g;
+}
+
+std::unique_ptr<Layer> Sigmoid::clone() const { return std::make_unique<Sigmoid>(); }
+
+}  // namespace cnd::nn

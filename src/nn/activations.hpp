@@ -1,0 +1,38 @@
+// Element-wise activation layers.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace cnd::nn {
+
+class ReLU final : public Layer {
+ public:
+  Matrix forward(const Matrix& x, bool train) override;
+  Matrix backward(const Matrix& grad_out) override;
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  Matrix x_cache_;
+};
+
+class Tanh final : public Layer {
+ public:
+  Matrix forward(const Matrix& x, bool train) override;
+  Matrix backward(const Matrix& grad_out) override;
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  Matrix y_cache_;
+};
+
+class Sigmoid final : public Layer {
+ public:
+  Matrix forward(const Matrix& x, bool train) override;
+  Matrix backward(const Matrix& grad_out) override;
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  Matrix y_cache_;
+};
+
+}  // namespace cnd::nn

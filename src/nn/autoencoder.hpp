@@ -1,0 +1,52 @@
+// MLP autoencoder — the paper's CFE backbone ("4-layer MLP with 256 neurons
+// in the hidden layers"): encoder d -> H -> latent, decoder latent -> H -> d.
+//
+// The encoder and decoder are exposed separately because the CND loss
+// injects gradients at the latent (triplet + continual-learning terms) and
+// at the reconstruction (L_R) simultaneously.
+#pragma once
+
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
+#include "nn/sequential.hpp"
+
+namespace cnd::nn {
+
+struct AutoencoderConfig {
+  std::size_t input_dim = 0;
+  std::size_t hidden_dim = 256;  ///< paper default
+  std::size_t latent_dim = 32;
+  double dropout = 0.0;          ///< hidden-layer dropout (0 = off).
+};
+
+class Autoencoder {
+ public:
+  Autoencoder() = default;
+  Autoencoder(const AutoencoderConfig& cfg, Rng& rng);
+
+  Matrix encode(const Matrix& x, bool train = false) { return encoder_.forward(x, train); }
+  Matrix decode(const Matrix& h, bool train = false) { return decoder_.forward(h, train); }
+  Matrix reconstruct(const Matrix& x, bool train = false) {
+    return decode(encode(x, train), train);
+  }
+
+  Sequential& encoder() { return encoder_; }
+  Sequential& decoder() { return decoder_; }
+
+  /// Deep copy of the encoder (model snapshotting / serialization).
+  Sequential encoder_copy() const { return encoder_; }
+
+  /// Encoder + decoder parameters, in a stable order.
+  std::vector<Param> params();
+  void zero_grad();
+
+  const AutoencoderConfig& config() const { return cfg_; }
+  bool initialized() const { return cfg_.input_dim != 0; }
+
+ private:
+  AutoencoderConfig cfg_;
+  Sequential encoder_;
+  Sequential decoder_;
+};
+
+}  // namespace cnd::nn

@@ -1,0 +1,47 @@
+// Layer interface for the from-scratch neural network library.
+//
+// Training uses explicit reverse-mode: forward() caches what backward()
+// needs, backward() receives dL/d(output) and returns dL/d(input) while
+// accumulating parameter gradients. Batches are Matrix rows.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+#include "tensor/rng.hpp"
+
+namespace cnd::nn {
+
+/// A trainable parameter: the value and its accumulated gradient, both owned
+/// by the layer. Optimizers mutate `value` and read/zero `grad`.
+struct Param {
+  Matrix* value;
+  Matrix* grad;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Forward pass. When `train` is true the layer caches activations for a
+  /// subsequent backward(); inference passes should use train = false.
+  virtual Matrix forward(const Matrix& x, bool train) = 0;
+
+  /// Backward pass for the most recent training forward(). Accumulates into
+  /// parameter gradients and returns dL/d(input).
+  virtual Matrix backward(const Matrix& grad_out) = 0;
+
+  /// Trainable parameters (empty for activations).
+  virtual std::vector<Param> params() { return {}; }
+
+  /// Deep copy (used to snapshot past-experience models for the continual
+  /// learning loss).
+  virtual std::unique_ptr<Layer> clone() const = 0;
+
+  void zero_grad() {
+    for (auto p : params()) *p.grad *= 0.0;
+  }
+};
+
+}  // namespace cnd::nn

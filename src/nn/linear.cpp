@@ -1,0 +1,56 @@
+#include "nn/linear.hpp"
+
+#include <cmath>
+
+#include "tensor/assert.hpp"
+
+namespace cnd::nn {
+
+Linear::Linear(std::size_t in, std::size_t out, Rng& rng)
+    : w_(in, out), b_(1, out), gw_(in, out), gb_(1, out) {
+  require(in > 0 && out > 0, "Linear: zero-sized layer");
+  const double bound = std::sqrt(6.0 / static_cast<double>(in));
+  for (std::size_t i = 0; i < in; ++i)
+    for (std::size_t j = 0; j < out; ++j) w_(i, j) = rng.uniform(-bound, bound);
+}
+
+Matrix Linear::forward(const Matrix& x, bool train) {
+  require(x.cols() == w_.rows(), "Linear::forward: input width mismatch");
+  if (train) x_cache_ = x;
+  Matrix y = matmul(x, w_);
+  for (std::size_t i = 0; i < y.rows(); ++i) {
+    auto r = y.row(i);
+    auto b = b_.row(0);
+    for (std::size_t j = 0; j < y.cols(); ++j) r[j] += b[j];
+  }
+  return y;
+}
+
+Matrix Linear::backward(const Matrix& grad_out) {
+  require(!x_cache_.empty(), "Linear::backward: no cached forward pass");
+  require(grad_out.rows() == x_cache_.rows() && grad_out.cols() == w_.cols(),
+          "Linear::backward: gradient shape mismatch");
+  gw_ += matmul_at(x_cache_, grad_out);
+  for (std::size_t i = 0; i < grad_out.rows(); ++i) {
+    auto g = grad_out.row(i);
+    auto gb = gb_.row(0);
+    for (std::size_t j = 0; j < grad_out.cols(); ++j) gb[j] += g[j];
+  }
+  return matmul_bt(grad_out, w_);
+}
+
+std::vector<Param> Linear::params() { return {{&w_, &gw_}, {&b_, &gb_}}; }
+
+void Linear::set_weights(const Matrix& w, const Matrix& b) {
+  require(w.same_shape(w_) && b.same_shape(b_), "Linear::set_weights: shape mismatch");
+  w_ = w;
+  b_ = b;
+}
+
+std::unique_ptr<Layer> Linear::clone() const {
+  auto c = std::make_unique<Linear>(*this);
+  c->x_cache_ = Matrix();
+  return c;
+}
+
+}  // namespace cnd::nn

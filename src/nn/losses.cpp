@@ -1,0 +1,124 @@
+#include "nn/losses.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/assert.hpp"
+
+namespace cnd::nn {
+
+LossGrad mse_loss(const Matrix& pred, const Matrix& target) {
+  require(pred.same_shape(target), "mse_loss: shape mismatch");
+  require(pred.size() > 0, "mse_loss: empty input");
+  LossGrad out;
+  out.grad = Matrix(pred.rows(), pred.cols());
+  const double n = static_cast<double>(pred.size());
+  double loss = 0.0;
+  for (std::size_t i = 0; i < pred.rows(); ++i) {
+    auto p = pred.row(i);
+    auto t = target.row(i);
+    auto g = out.grad.row(i);
+    for (std::size_t j = 0; j < pred.cols(); ++j) {
+      const double d = p[j] - t[j];
+      loss += d * d;
+      g[j] = 2.0 * d / n;
+    }
+  }
+  out.loss = loss / n;
+  return out;
+}
+
+LossGrad triplet_margin_loss(const Matrix& emb, const std::vector<int>& labels,
+                             double margin, Rng& rng, std::size_t n_triplets) {
+  require(labels.size() == emb.rows(), "triplet_margin_loss: label count mismatch");
+  require(margin > 0.0, "triplet_margin_loss: margin must be > 0");
+
+  LossGrad out;
+  out.grad = Matrix(emb.rows(), emb.cols());
+
+  // Partition indices by pseudo-class.
+  std::vector<std::size_t> cls0, cls1;
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    (labels[i] == 0 ? cls0 : cls1).push_back(i);
+  if (cls0.size() < 2 && cls1.size() < 2) return out;  // No valid anchors.
+  if (cls0.empty() || cls1.empty()) return out;        // No negatives.
+
+  const double eps = 1e-12;
+  std::size_t active = 0;
+  std::size_t total = 0;
+  auto pick = [&](const std::vector<std::size_t>& pool) {
+    return pool[static_cast<std::size_t>(
+        rng.randint(0, static_cast<std::int64_t>(pool.size()) - 1))];
+  };
+
+  std::vector<std::pair<std::size_t, std::size_t>> triplet_buf;  // (a,p) pairs + n
+  for (std::size_t t = 0; t < n_triplets; ++t) {
+    // Alternate anchor class when both classes can anchor.
+    const bool use0 = (cls0.size() >= 2 && cls1.size() >= 2) ? (t % 2 == 0)
+                                                              : (cls0.size() >= 2);
+    const auto& pos_pool = use0 ? cls0 : cls1;
+    const auto& neg_pool = use0 ? cls1 : cls0;
+    if (pos_pool.size() < 2) continue;
+
+    const std::size_t a = pick(pos_pool);
+    std::size_t p = pick(pos_pool);
+    for (int tries = 0; p == a && tries < 8; ++tries) p = pick(pos_pool);
+    if (p == a) continue;
+    const std::size_t n = pick(neg_pool);
+    ++total;
+
+    const double dap = std::sqrt(sq_dist(emb.row(a), emb.row(p))) + eps;
+    const double dan = std::sqrt(sq_dist(emb.row(a), emb.row(n))) + eps;
+    const double l = dap - dan + margin;
+    if (l <= 0.0) continue;
+    ++active;
+    out.loss += l;
+
+    // d(dap)/da = (a - p)/dap etc.
+    auto ea = emb.row(a);
+    auto ep = emb.row(p);
+    auto en = emb.row(n);
+    auto ga = out.grad.row(a);
+    auto gp = out.grad.row(p);
+    auto gn = out.grad.row(n);
+    for (std::size_t j = 0; j < emb.cols(); ++j) {
+      const double uap = (ea[j] - ep[j]) / dap;
+      const double uan = (ea[j] - en[j]) / dan;
+      ga[j] += uap - uan;
+      gp[j] += -uap;
+      gn[j] += uan;
+    }
+  }
+
+  if (total == 0) return out;
+  const double scale = 1.0 / static_cast<double>(total);
+  out.loss *= scale;
+  out.grad *= scale;
+  (void)active;
+  return out;
+}
+
+LossGrad softmax_cross_entropy(const Matrix& logits,
+                               const std::vector<std::size_t>& labels) {
+  require(labels.size() == logits.rows(), "softmax_ce: label count mismatch");
+  require(logits.cols() >= 2, "softmax_ce: need at least 2 classes");
+  LossGrad out;
+  out.grad = Matrix(logits.rows(), logits.cols());
+  const double bn = static_cast<double>(logits.rows());
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    require(labels[i] < logits.cols(), "softmax_ce: label out of range");
+    auto z = logits.row(i);
+    const double zmax = *std::max_element(z.begin(), z.end());
+    double denom = 0.0;
+    for (double v : z) denom += std::exp(v - zmax);
+    auto g = out.grad.row(i);
+    for (std::size_t j = 0; j < logits.cols(); ++j) {
+      const double pj = std::exp(z[j] - zmax) / denom;
+      g[j] = (pj - (j == labels[i] ? 1.0 : 0.0)) / bn;
+      if (j == labels[i]) out.loss += -(z[j] - zmax - std::log(denom)) / bn;
+    }
+  }
+  return out;
+}
+
+}  // namespace cnd::nn

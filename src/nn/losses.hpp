@@ -1,0 +1,38 @@
+// Loss functions.
+//
+// Each returns the scalar loss and dL/d(prediction) so callers can chain
+// into Layer::backward. The triplet-margin loss implements Eq. (2) of the
+// CND-IDS paper over pseudo-labelled mini-batches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+#include "tensor/rng.hpp"
+
+namespace cnd::nn {
+
+struct LossGrad {
+  double loss = 0.0;
+  Matrix grad;  ///< same shape as the prediction input.
+};
+
+/// Mean squared error over all elements: L = mean((pred - target)^2).
+LossGrad mse_loss(const Matrix& pred, const Matrix& target);
+
+/// Triplet margin loss (FaceNet, Eq. 2 of CND-IDS) on a batch of embeddings
+/// with binary pseudo-labels. Samples up to `n_triplets` random
+/// (anchor, positive, negative) triples with the anchor alternating between
+/// classes; returns 0 loss (and zero grad) when either class is absent.
+/// Distances are Euclidean; margin m > 0.
+LossGrad triplet_margin_loss(const Matrix& embeddings,
+                             const std::vector<int>& labels, double margin,
+                             Rng& rng, std::size_t n_triplets);
+
+/// Softmax cross-entropy for the supervised Fig-1 baseline. `labels` are
+/// class indices in [0, logits.cols()).
+LossGrad softmax_cross_entropy(const Matrix& logits,
+                               const std::vector<std::size_t>& labels);
+
+}  // namespace cnd::nn

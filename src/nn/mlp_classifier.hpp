@@ -1,0 +1,43 @@
+// Supervised MLP classifier.
+//
+// Used only by the Fig-1 bench to reproduce the paper's motivating
+// observation: supervised ML-IDS scores well on attacks it was trained on
+// and collapses on unseen (zero-day) families.
+#pragma once
+
+#include "nn/optimizer.hpp"
+#include "nn/sequential.hpp"
+
+namespace cnd::nn {
+
+struct MlpClassifierConfig {
+  std::size_t input_dim = 0;
+  std::size_t hidden_dim = 128;
+  std::size_t n_classes = 2;
+  std::size_t epochs = 20;
+  std::size_t batch_size = 128;
+  double lr = 1e-3;
+};
+
+class MlpClassifier {
+ public:
+  MlpClassifier(const MlpClassifierConfig& cfg, Rng& rng);
+
+  /// Mini-batch Adam training with softmax cross-entropy. Returns final
+  /// epoch's mean loss.
+  double fit(const Matrix& x, const std::vector<std::size_t>& y);
+
+  /// Class index per row.
+  std::vector<std::size_t> predict(const Matrix& x);
+
+  /// Probability of class 1 per row (binary convenience for F1 sweeps).
+  std::vector<double> predict_proba1(const Matrix& x);
+
+ private:
+  MlpClassifierConfig cfg_;
+  Sequential net_;
+  Adam opt_;
+  Rng rng_;
+};
+
+}  // namespace cnd::nn

@@ -1,0 +1,58 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "tensor/assert.hpp"
+
+namespace cnd::nn {
+
+void Sgd::step(std::vector<Param> params) {
+  for (auto& p : params) {
+    CND_ASSERT(p.value->same_shape(*p.grad));
+    for (std::size_t i = 0; i < p.value->rows(); ++i) {
+      auto w = p.value->row(i);
+      auto g = p.grad->row(i);
+      for (std::size_t j = 0; j < p.value->cols(); ++j) w[j] -= lr_ * g[j];
+    }
+    *p.grad *= 0.0;
+  }
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double eps)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  require(lr > 0.0, "Adam: lr must be > 0");
+}
+
+void Adam::step(std::vector<Param> params) {
+  if (m_.empty()) {
+    for (auto& p : params) {
+      m_.emplace_back(p.value->rows(), p.value->cols());
+      v_.emplace_back(p.value->rows(), p.value->cols());
+    }
+  }
+  require(m_.size() == params.size(), "Adam: parameter list changed size");
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    auto& p = params[k];
+    CND_ASSERT(p.value->same_shape(*p.grad));
+    require(m_[k].same_shape(*p.value), "Adam: parameter shape changed");
+    for (std::size_t i = 0; i < p.value->rows(); ++i) {
+      auto w = p.value->row(i);
+      auto g = p.grad->row(i);
+      auto m = m_[k].row(i);
+      auto v = v_[k].row(i);
+      for (std::size_t j = 0; j < p.value->cols(); ++j) {
+        m[j] = beta1_ * m[j] + (1.0 - beta1_) * g[j];
+        v[j] = beta2_ * v[j] + (1.0 - beta2_) * g[j] * g[j];
+        const double mhat = m[j] / bc1;
+        const double vhat = v[j] / bc2;
+        w[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+      }
+    }
+    *p.grad *= 0.0;
+  }
+}
+
+}  // namespace cnd::nn

@@ -1,0 +1,122 @@
+#include "nn/regularization.hpp"
+
+#include <cmath>
+
+#include "tensor/assert.hpp"
+
+namespace cnd::nn {
+
+Dropout::Dropout(double p, std::uint64_t seed) : p_(p), rng_(seed) {
+  require(p >= 0.0 && p < 1.0, "Dropout: p out of [0, 1)");
+}
+
+Matrix Dropout::forward(const Matrix& x, bool train) {
+  if (!train || p_ == 0.0) return x;
+  const double keep_scale = 1.0 / (1.0 - p_);
+  mask_ = Matrix(x.rows(), x.cols());
+  Matrix y = x;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    auto m = mask_.row(i);
+    auto r = y.row(i);
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      m[j] = rng_.bernoulli(p_) ? 0.0 : keep_scale;
+      r[j] *= m[j];
+    }
+  }
+  return y;
+}
+
+Matrix Dropout::backward(const Matrix& grad_out) {
+  require(grad_out.same_shape(mask_), "Dropout::backward: shape mismatch");
+  return hadamard(grad_out, mask_);
+}
+
+std::unique_ptr<Layer> Dropout::clone() const {
+  return std::make_unique<Dropout>(*this);
+}
+
+LayerNorm::LayerNorm(std::size_t dim, double eps)
+    : eps_(eps),
+      gamma_(1, dim, 1.0),
+      beta_(1, dim, 0.0),
+      ggamma_(1, dim),
+      gbeta_(1, dim) {
+  require(dim > 0, "LayerNorm: zero dim");
+}
+
+Matrix LayerNorm::forward(const Matrix& x, bool train) {
+  require(x.cols() == gamma_.cols(), "LayerNorm::forward: width mismatch");
+  Matrix y(x.rows(), x.cols());
+  if (train) {
+    xhat_cache_ = Matrix(x.rows(), x.cols());
+    inv_std_cache_.assign(x.rows(), 0.0);
+  }
+  const double d = static_cast<double>(x.cols());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    auto r = x.row(i);
+    double mean = 0.0;
+    for (double v : r) mean += v;
+    mean /= d;
+    double var = 0.0;
+    for (double v : r) var += (v - mean) * (v - mean);
+    var /= d;
+    const double inv_std = 1.0 / std::sqrt(var + eps_);
+    auto out = y.row(i);
+    auto g = gamma_.row(0);
+    auto b = beta_.row(0);
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      const double xh = (r[j] - mean) * inv_std;
+      if (train) xhat_cache_(i, j) = xh;
+      out[j] = g[j] * xh + b[j];
+    }
+    if (train) inv_std_cache_[i] = inv_std;
+  }
+  return y;
+}
+
+Matrix LayerNorm::backward(const Matrix& grad_out) {
+  require(grad_out.same_shape(xhat_cache_), "LayerNorm::backward: shape mismatch");
+  const double d = static_cast<double>(grad_out.cols());
+  Matrix gx(grad_out.rows(), grad_out.cols());
+  for (std::size_t i = 0; i < grad_out.rows(); ++i) {
+    auto go = grad_out.row(i);
+    auto xh = xhat_cache_.row(i);
+    auto g = gamma_.row(0);
+    auto gg = ggamma_.row(0);
+    auto gb = gbeta_.row(0);
+
+    // Parameter gradients.
+    for (std::size_t j = 0; j < grad_out.cols(); ++j) {
+      gg[j] += go[j] * xh[j];
+      gb[j] += go[j];
+    }
+
+    // dL/dxhat and its projections.
+    double sum_dxhat = 0.0, sum_dxhat_xhat = 0.0;
+    for (std::size_t j = 0; j < grad_out.cols(); ++j) {
+      const double dxh = go[j] * g[j];
+      sum_dxhat += dxh;
+      sum_dxhat_xhat += dxh * xh[j];
+    }
+    auto out = gx.row(i);
+    for (std::size_t j = 0; j < grad_out.cols(); ++j) {
+      const double dxh = go[j] * g[j];
+      out[j] = inv_std_cache_[i] *
+               (dxh - sum_dxhat / d - xh[j] * sum_dxhat_xhat / d);
+    }
+  }
+  return gx;
+}
+
+std::vector<Param> LayerNorm::params() {
+  return {{&gamma_, &ggamma_}, {&beta_, &gbeta_}};
+}
+
+std::unique_ptr<Layer> LayerNorm::clone() const {
+  auto c = std::make_unique<LayerNorm>(*this);
+  c->xhat_cache_ = Matrix();
+  c->inv_std_cache_.clear();
+  return c;
+}
+
+}  // namespace cnd::nn

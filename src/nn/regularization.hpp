@@ -1,0 +1,49 @@
+// Regularization layers: inverted Dropout and LayerNorm.
+//
+// Optional components of the CFE autoencoder (AutoencoderConfig::dropout);
+// exposed publicly because downstream users assembling their own extractors
+// need them for deeper nets than the paper's 4-layer MLP.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace cnd::nn {
+
+/// Inverted dropout: at train time each activation is zeroed with
+/// probability p and survivors are scaled by 1/(1-p); inference is the
+/// identity. The layer owns its RNG stream for reproducibility.
+class Dropout final : public Layer {
+ public:
+  explicit Dropout(double p, std::uint64_t seed = 0xD20);
+
+  Matrix forward(const Matrix& x, bool train) override;
+  Matrix backward(const Matrix& grad_out) override;
+  std::unique_ptr<Layer> clone() const override;
+
+  double p() const { return p_; }
+
+ private:
+  double p_;
+  Rng rng_;
+  Matrix mask_;  ///< cached keep-mask (already scaled) from the last forward.
+};
+
+/// Layer normalization over the feature dimension with learnable gain/bias.
+class LayerNorm final : public Layer {
+ public:
+  explicit LayerNorm(std::size_t dim, double eps = 1e-5);
+
+  Matrix forward(const Matrix& x, bool train) override;
+  Matrix backward(const Matrix& grad_out) override;
+  std::vector<Param> params() override;
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  double eps_;
+  Matrix gamma_, beta_;    // 1 x dim
+  Matrix ggamma_, gbeta_;
+  Matrix xhat_cache_;      // normalized input
+  std::vector<double> inv_std_cache_;  // per-row 1/sigma
+};
+
+}  // namespace cnd::nn

@@ -1,0 +1,48 @@
+#include "nn/sequential.hpp"
+
+#include "tensor/assert.hpp"
+
+namespace cnd::nn {
+
+Sequential::Sequential(const Sequential& o) {
+  layers_.reserve(o.layers_.size());
+  for (const auto& l : o.layers_) layers_.push_back(l->clone());
+}
+
+Sequential& Sequential::operator=(const Sequential& o) {
+  if (this == &o) return *this;
+  layers_.clear();
+  layers_.reserve(o.layers_.size());
+  for (const auto& l : o.layers_) layers_.push_back(l->clone());
+  return *this;
+}
+
+void Sequential::add(std::unique_ptr<Layer> layer) {
+  require(layer != nullptr, "Sequential::add: null layer");
+  layers_.push_back(std::move(layer));
+}
+
+Matrix Sequential::forward(const Matrix& x, bool train) {
+  Matrix h = x;
+  for (auto& l : layers_) h = l->forward(h, train);
+  return h;
+}
+
+Matrix Sequential::backward(const Matrix& grad_out) {
+  Matrix g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
+  return g;
+}
+
+std::vector<Param> Sequential::params() {
+  std::vector<Param> out;
+  for (auto& l : layers_)
+    for (auto p : l->params()) out.push_back(p);
+  return out;
+}
+
+std::unique_ptr<Layer> Sequential::clone() const {
+  return std::make_unique<Sequential>(*this);
+}
+
+}  // namespace cnd::nn

@@ -1,0 +1,34 @@
+// Ordered container of layers with chained forward/backward.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace cnd::nn {
+
+class Sequential final : public Layer {
+ public:
+  Sequential() = default;
+  Sequential(const Sequential& o);
+  Sequential& operator=(const Sequential& o);
+  Sequential(Sequential&&) = default;
+  Sequential& operator=(Sequential&&) = default;
+
+  void add(std::unique_ptr<Layer> layer);
+  std::size_t depth() const { return layers_.size(); }
+
+  Matrix forward(const Matrix& x, bool train) override;
+  Matrix backward(const Matrix& grad_out) override;
+  std::vector<Param> params() override;
+  std::unique_ptr<Layer> clone() const override;
+
+  /// Inference shortcut (no caching).
+  Matrix predict(const Matrix& x) { return forward(x, /*train=*/false); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace cnd::nn

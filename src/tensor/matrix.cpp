@@ -1,0 +1,250 @@
+#include "tensor/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/assert.hpp"
+
+namespace cnd {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
+  rows_ = init.size();
+  cols_ = rows_ ? init.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : init) {
+    require(r.size() == cols_, "Matrix: ragged initializer list");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  CND_ASSERT(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  CND_ASSERT(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+std::span<double> Matrix::row(std::size_t r) {
+  CND_ASSERT(r < rows_);
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<const double> Matrix::row(std::size_t r) const {
+  CND_ASSERT(r < rows_);
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::vector<double> Matrix::row_vec(std::size_t r) const {
+  auto s = row(r);
+  return {s.begin(), s.end()};
+}
+
+std::vector<double> Matrix::col_vec(std::size_t c) const {
+  CND_ASSERT(c < cols_);
+  std::vector<double> out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = data_[r * cols_ + c];
+  return out;
+}
+
+void Matrix::set_row(std::size_t r, std::span<const double> v) {
+  require(v.size() == cols_, "Matrix::set_row: width mismatch");
+  std::copy(v.begin(), v.end(), row(r).begin());
+}
+
+Matrix Matrix::take_rows(const std::vector<std::size_t>& idx) const {
+  Matrix out(idx.size(), cols_);
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    require(idx[i] < rows_, "Matrix::take_rows: index out of range");
+    out.set_row(i, row(idx[i]));
+  }
+  return out;
+}
+
+void Matrix::append_rows(const Matrix& other) {
+  if (other.empty()) return;
+  if (empty()) {
+    *this = other;
+    return;
+  }
+  require(cols_ == other.cols_, "Matrix::append_rows: column mismatch");
+  data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+  rows_ += other.rows_;
+}
+
+Matrix& Matrix::operator+=(const Matrix& o) {
+  require(same_shape(o), "Matrix::+=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& o) {
+  require(same_shape(o), "Matrix::-=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+Matrix operator*(Matrix a, double s) { return a *= s; }
+Matrix operator*(double s, Matrix a) { return a *= s; }
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  require(a.cols() == b.rows(), "matmul: inner dimension mismatch");
+  Matrix c(a.rows(), b.cols());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* ai = a.data() + i * k;
+    double* ci = c.data() + i * n;
+    for (std::size_t p = 0; p < k; ++p) {
+      const double aip = ai[p];
+      if (aip == 0.0) continue;
+      const double* bp = b.data() + p * n;
+      for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_bt(const Matrix& a, const Matrix& b) {
+  require(a.cols() == b.cols(), "matmul_bt: inner dimension mismatch");
+  Matrix c(a.rows(), b.rows());
+  const std::size_t k = a.cols();
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* ai = a.data() + i * k;
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const double* bj = b.data() + j * k;
+      double s = 0.0;
+      for (std::size_t p = 0; p < k; ++p) s += ai[p] * bj[p];
+      c(i, j) = s;
+    }
+  }
+  return c;
+}
+
+Matrix matmul_at(const Matrix& a, const Matrix& b) {
+  require(a.rows() == b.rows(), "matmul_at: inner dimension mismatch");
+  Matrix c(a.cols(), b.cols());
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  for (std::size_t p = 0; p < k; ++p) {
+    const double* ap = a.data() + p * m;
+    const double* bp = b.data() + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double api = ap[i];
+      if (api == 0.0) continue;
+      double* ci = c.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) ci[j] += api * bp[j];
+    }
+  }
+  return c;
+}
+
+Matrix transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
+  return t;
+}
+
+Matrix hadamard(const Matrix& a, const Matrix& b) {
+  require(a.same_shape(b), "hadamard: shape mismatch");
+  Matrix c = a;
+  for (std::size_t i = 0; i < c.rows(); ++i) {
+    auto ci = c.row(i);
+    auto bi = b.row(i);
+    for (std::size_t j = 0; j < c.cols(); ++j) ci[j] *= bi[j];
+  }
+  return c;
+}
+
+std::vector<double> col_mean(const Matrix& a) {
+  require(a.rows() > 0, "col_mean: empty matrix");
+  std::vector<double> m(a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    auto r = a.row(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) m[j] += r[j];
+  }
+  for (double& v : m) v /= static_cast<double>(a.rows());
+  return m;
+}
+
+std::vector<double> col_stddev(const Matrix& a, const std::vector<double>& mean) {
+  require(mean.size() == a.cols(), "col_stddev: mean size mismatch");
+  require(a.rows() > 0, "col_stddev: empty matrix");
+  std::vector<double> s(a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    auto r = a.row(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      const double d = r[j] - mean[j];
+      s[j] += d * d;
+    }
+  }
+  for (double& v : s) v = std::sqrt(v / static_cast<double>(a.rows()));
+  return s;
+}
+
+Matrix sub_rowvec(Matrix a, std::span<const double> v) {
+  require(v.size() == a.cols(), "sub_rowvec: width mismatch");
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    auto r = a.row(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) r[j] -= v[j];
+  }
+  return a;
+}
+
+double frobenius_sq(const Matrix& a) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (double v : a.row(i)) s += v * v;
+  return s;
+}
+
+double sq_dist(std::span<const double> a, std::span<const double> b) {
+  CND_ASSERT(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  CND_ASSERT(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+Matrix identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double mse(const Matrix& a, const Matrix& b) {
+  require(a.same_shape(b), "mse: shape mismatch");
+  require(a.size() > 0, "mse: empty matrices");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    auto ra = a.row(i);
+    auto rb = b.row(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      const double d = ra[j] - rb[j];
+      s += d * d;
+    }
+  }
+  return s / static_cast<double>(a.size());
+}
+
+}  // namespace cnd

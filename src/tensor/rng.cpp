@@ -1,0 +1,84 @@
+#include "tensor/rng.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "tensor/assert.hpp"
+
+namespace cnd {
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(gen_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  std::normal_distribution<double> d(mean, stddev);
+  return d(gen_);
+}
+
+std::int64_t Rng::randint(std::int64_t lo, std::int64_t hi) {
+  require(lo <= hi, "Rng::randint: empty range");
+  std::uniform_int_distribution<std::int64_t> d(lo, hi);
+  return d(gen_);
+}
+
+bool Rng::bernoulli(double p) {
+  std::bernoulli_distribution d(p);
+  return d(gen_);
+}
+
+double Rng::exponential(double lambda) {
+  require(lambda > 0.0, "Rng::exponential: lambda must be > 0");
+  std::exponential_distribution<double> d(lambda);
+  return d(gen_);
+}
+
+double Rng::heavy_tail(double df) {
+  require(df > 0.0, "Rng::heavy_tail: df must be > 0");
+  const double z = normal();
+  std::chi_squared_distribution<double> chi(df);
+  const double c = chi(gen_);
+  return z / std::sqrt(c / df + 1e-12);
+}
+
+std::size_t Rng::categorical(const std::vector<double>& weights) {
+  require(!weights.empty(), "Rng::categorical: empty weights");
+  double total = 0.0;
+  for (double w : weights) {
+    require(w >= 0.0, "Rng::categorical: negative weight");
+    total += w;
+  }
+  require(total > 0.0, "Rng::categorical: all-zero weights");
+  double r = uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+void Rng::shuffle(std::vector<std::size_t>& idx) {
+  for (std::size_t i = idx.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(randint(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(idx[i - 1], idx[j]);
+  }
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  shuffle(idx);
+  return idx;
+}
+
+Rng Rng::split(std::uint64_t salt) {
+  // Mix the parent stream with the salt so children are independent and the
+  // parent advances (two splits with different salts differ; repeated splits
+  // with the same salt also differ).
+  const std::uint64_t a = gen_();
+  const std::uint64_t b = gen_();
+  return Rng(a ^ (salt * 0x9E3779B97F4A7C15ULL) ^ (b << 1));
+}
+
+}  // namespace cnd

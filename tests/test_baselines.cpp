@@ -1,0 +1,163 @@
+// Unit tests for the ADCN and LwF UCL baselines.
+#include <gtest/gtest.h>
+
+#include "baselines/adcn.hpp"
+#include "baselines/lwf.hpp"
+#include "eval/metrics.hpp"
+
+namespace cnd::baselines {
+namespace {
+
+struct Toy {
+  Matrix n_clean;
+  Matrix seed_x;
+  std::vector<int> seed_y;
+  Matrix x_train;
+  Matrix x_test;
+  std::vector<int> y_test;
+};
+
+Toy make_toy(Rng& rng) {
+  Toy t;
+  auto fill_normal = [&](Matrix& m) {
+    for (std::size_t i = 0; i < m.rows(); ++i)
+      for (auto& v : m.row(i)) v = rng.normal();
+  };
+  t.n_clean = Matrix(60, 4);
+  fill_normal(t.n_clean);
+
+  // Balanced labeled seed.
+  t.seed_x = Matrix(40, 4);
+  for (std::size_t i = 0; i < 40; ++i) {
+    const bool attack = i >= 20;
+    t.seed_y.push_back(attack ? 1 : 0);
+    for (std::size_t j = 0; j < 4; ++j)
+      t.seed_x(i, j) = rng.normal(attack && j < 2 ? 8.0 : 0.0, 1.0);
+  }
+
+  t.x_train = Matrix(200, 4);
+  for (std::size_t i = 0; i < 200; ++i) {
+    const bool attack = i % 4 == 0;
+    for (std::size_t j = 0; j < 4; ++j)
+      t.x_train(i, j) = rng.normal(attack && j < 2 ? 8.0 : 0.0, 1.0);
+  }
+
+  t.x_test = Matrix(80, 4);
+  for (std::size_t i = 0; i < 80; ++i) {
+    const bool attack = i < 24;
+    t.y_test.push_back(attack ? 1 : 0);
+    for (std::size_t j = 0; j < 4; ++j)
+      t.x_test(i, j) = rng.normal(attack && j < 2 ? 8.0 : 0.0, 1.0);
+  }
+  return t;
+}
+
+AdcnConfig fast_adcn() {
+  AdcnConfig c;
+  c.hidden_dim = 32;
+  c.latent_dim = 8;
+  c.epochs = 5;
+  c.init_k = 4;
+  return c;
+}
+
+LwfConfig fast_lwf() {
+  LwfConfig c;
+  c.hidden_dim = 32;
+  c.latent_dim = 8;
+  c.epochs = 5;
+  c.k = 4;
+  return c;
+}
+
+TEST(Adcn, RequiresSeed) {
+  Adcn det(fast_adcn());
+  Matrix empty_x;
+  std::vector<int> empty_y;
+  Matrix nc(10, 4);
+  EXPECT_THROW(det.setup(core::SetupContext{nc, empty_x, empty_y}),
+               std::invalid_argument);
+  EXPECT_THROW(det.observe_experience(Matrix(50, 4)), std::invalid_argument);
+}
+
+TEST(Adcn, LearnsSeparableToy) {
+  Rng rng(1);
+  Toy t = make_toy(rng);
+  Adcn det(fast_adcn());
+  det.setup(core::SetupContext{t.n_clean, t.seed_x, t.seed_y});
+  det.observe_experience(t.x_train);
+
+  const auto p = det.predict(t.x_test);
+  ASSERT_EQ(p.size(), t.y_test.size());
+  EXPECT_GT(eval::f1_score(p, t.y_test), 0.7);
+  EXPECT_GE(det.n_clusters(), 4u);
+}
+
+TEST(Adcn, HasNoScores) {
+  Adcn det(fast_adcn());
+  EXPECT_FALSE(det.has_scores());
+  EXPECT_THROW(det.score(Matrix(1, 4)), std::logic_error);
+}
+
+TEST(Adcn, ClusterGrowthAcrossExperiences) {
+  Rng rng(2);
+  Toy t = make_toy(rng);
+  Adcn det(fast_adcn());
+  det.setup(core::SetupContext{t.n_clean, t.seed_x, t.seed_y});
+  det.observe_experience(t.x_train);
+  const std::size_t k1 = det.n_clusters();
+
+  // A second experience with a brand-new attack mode far away.
+  Matrix x2 = t.x_train;
+  for (std::size_t i = 0; i < x2.rows(); i += 5)
+    for (std::size_t j = 2; j < 4; ++j) x2(i, j) += -12.0;
+  det.observe_experience(x2);
+  EXPECT_GE(det.n_clusters(), k1);  // never shrinks; may spawn
+}
+
+TEST(Lwf, RequiresSeed) {
+  Lwf det(fast_lwf());
+  Matrix empty_x;
+  std::vector<int> empty_y;
+  Matrix nc(10, 4);
+  EXPECT_THROW(det.setup(core::SetupContext{nc, empty_x, empty_y}),
+               std::invalid_argument);
+}
+
+TEST(Lwf, LearnsSeparableToy) {
+  Rng rng(3);
+  Toy t = make_toy(rng);
+  Lwf det(fast_lwf());
+  det.setup(core::SetupContext{t.n_clean, t.seed_x, t.seed_y});
+  det.observe_experience(t.x_train);
+  const auto p = det.predict(t.x_test);
+  EXPECT_GT(eval::f1_score(p, t.y_test), 0.7);
+}
+
+TEST(Lwf, HasNoScores) {
+  Lwf det(fast_lwf());
+  EXPECT_FALSE(det.has_scores());
+  EXPECT_THROW(det.score(Matrix(1, 4)), std::logic_error);
+}
+
+TEST(Lwf, PredictBeforeObserveThrows) {
+  Rng rng(4);
+  Toy t = make_toy(rng);
+  Lwf det(fast_lwf());
+  det.setup(core::SetupContext{t.n_clean, t.seed_x, t.seed_y});
+  EXPECT_THROW(det.predict(t.x_test), std::invalid_argument);
+}
+
+TEST(Lwf, SurvivesSecondExperience) {
+  Rng rng(5);
+  Toy t = make_toy(rng);
+  Lwf det(fast_lwf());
+  det.setup(core::SetupContext{t.n_clean, t.seed_x, t.seed_y});
+  det.observe_experience(t.x_train);
+  det.observe_experience(t.x_train);  // distillation path exercised
+  const auto p = det.predict(t.x_test);
+  EXPECT_GT(eval::f1_score(p, t.y_test), 0.6);
+}
+
+}  // namespace
+}  // namespace cnd::baselines

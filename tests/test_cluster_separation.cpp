@@ -1,0 +1,81 @@
+// Unit tests for the cluster-separation pseudo-labeling (§III-C).
+#include "core/cluster_separation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cnd::core {
+namespace {
+
+/// Training set = normal blob at origin + attack blob at distance 12;
+/// N_c sampled from the normal blob only.
+struct TwoBlob {
+  Matrix x_train;
+  Matrix n_clean;
+  std::vector<int> truth;  ///< 0 for the normal blob, 1 for the attack blob.
+};
+
+TwoBlob make_two_blob(Rng& rng, std::size_t n_norm = 150, std::size_t n_att = 80) {
+  TwoBlob t;
+  t.x_train = Matrix(n_norm + n_att, 3);
+  for (std::size_t i = 0; i < n_norm; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) t.x_train(i, j) = rng.normal(0.0, 1.0);
+    t.truth.push_back(0);
+  }
+  for (std::size_t i = 0; i < n_att; ++i) {
+    for (std::size_t j = 0; j < 3; ++j)
+      t.x_train(n_norm + i, j) = rng.normal(j == 0 ? 12.0 : 0.0, 1.0);
+    t.truth.push_back(1);
+  }
+  t.n_clean = Matrix(40, 3);
+  for (std::size_t i = 0; i < 40; ++i)
+    for (std::size_t j = 0; j < 3; ++j) t.n_clean(i, j) = rng.normal(0.0, 1.0);
+  return t;
+}
+
+TEST(ClusterSeparation, RecoversPlantedClasses) {
+  Rng rng(1);
+  TwoBlob t = make_two_blob(rng);
+  PseudoLabels pl = cluster_separation_labels(t.x_train, t.n_clean, 2, rng);
+  ASSERT_EQ(pl.labels.size(), t.truth.size());
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < pl.labels.size(); ++i)
+    agree += (pl.labels[i] == t.truth[i]);
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(pl.labels.size()), 0.98);
+  EXPECT_EQ(pl.n_normal_clusters, 1u);
+  EXPECT_EQ(pl.n_anomalous, 80u);
+}
+
+TEST(ClusterSeparation, ElbowPathProducesBothClasses) {
+  Rng rng(2);
+  TwoBlob t = make_two_blob(rng);
+  PseudoLabels pl = cluster_separation_labels(t.x_train, t.n_clean, 0, rng);
+  EXPECT_GE(pl.k, 2u);
+  EXPECT_GT(pl.n_anomalous, 0u);
+  EXPECT_LT(pl.n_anomalous, t.x_train.rows());
+}
+
+TEST(ClusterSeparation, AllNormalWhenNoAttackStructure) {
+  // Training data drawn from the same distribution as N_c: with few
+  // clusters every cluster will contain an N_c point -> everything normal.
+  Rng rng(3);
+  Matrix x(100, 2);
+  for (std::size_t i = 0; i < 100; ++i)
+    for (std::size_t j = 0; j < 2; ++j) x(i, j) = rng.normal();
+  Matrix nc(50, 2);
+  for (std::size_t i = 0; i < 50; ++i)
+    for (std::size_t j = 0; j < 2; ++j) nc(i, j) = rng.normal();
+  PseudoLabels pl = cluster_separation_labels(x, nc, 2, rng);
+  EXPECT_EQ(pl.n_normal_clusters, 2u);
+  EXPECT_EQ(pl.n_anomalous, 0u);
+}
+
+TEST(ClusterSeparation, RejectsBadInputs) {
+  Rng rng(4);
+  Matrix x(10, 2), nc(5, 3);
+  EXPECT_THROW(cluster_separation_labels(x, nc, 2, rng), std::invalid_argument);
+  EXPECT_THROW(cluster_separation_labels(Matrix(2, 2), Matrix(2, 2), 2, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cnd::core

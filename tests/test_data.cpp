@@ -1,0 +1,235 @@
+// Unit tests for the data layer: Dataset, flow generator, the four synthetic
+// dataset constructors, CSV I/O, and the §III-A experience preparation.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "data/csv.hpp"
+#include "data/experiences.hpp"
+#include "data/flow_generator.hpp"
+#include "data/synth.hpp"
+#include "linalg/stats.hpp"
+
+namespace cnd::data {
+namespace {
+
+TEST(Dataset, ValidateCatchesInconsistency) {
+  Dataset ds;
+  ds.x = Matrix(2, 2);
+  ds.y = {0, 1};
+  ds.attack_class = {-1, 0};
+  ds.class_names = {"a"};
+  EXPECT_NO_THROW(ds.validate());
+
+  Dataset bad = ds;
+  bad.attack_class = {0, 0};  // normal row with a class id
+  EXPECT_THROW(bad.validate(), std::logic_error);
+
+  Dataset bad2 = ds;
+  bad2.attack_class = {-1, 5};  // out-of-range class
+  EXPECT_THROW(bad2.validate(), std::logic_error);
+}
+
+TEST(Dataset, TakePreservesLabels) {
+  Dataset ds;
+  ds.x = Matrix{{1, 1}, {2, 2}, {3, 3}};
+  ds.y = {0, 1, 0};
+  ds.attack_class = {-1, 0, -1};
+  ds.class_names = {"dos"};
+  Dataset sub = ds.take({1, 2});
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.y[0], 1);
+  EXPECT_EQ(sub.attack_class[0], 0);
+  EXPECT_EQ(sub.x(0, 0), 2.0);
+}
+
+TEST(FlowGenerator, ProfilesAreSeparated) {
+  Rng rng(1);
+  FlowGenerator gen(10, 3, 0.5, rng);
+  const auto normal = gen.add_profile("normal", 0.0, 1.0, 0.0, 0.0, 0.0, 0.5, 0.0, rng);
+  const auto attack = gen.add_profile("attack", 10.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, rng);
+  Matrix xn = gen.sample(normal, 100, 0.0, rng);
+  Matrix xa = gen.sample(attack, 100, 0.0, rng);
+  auto mn = col_mean(xn);
+  auto ma = col_mean(xa);
+  // The means must be far apart relative to the noise.
+  EXPECT_GT(std::sqrt(sq_dist(mn, ma)), 5.0);
+}
+
+TEST(FlowGenerator, DriftMovesTheMean) {
+  Rng rng(2);
+  FlowGenerator gen(8, 2, 0.3, rng);
+  const auto p = gen.add_profile("drifty", 0.0, 0.5, 0.0, /*drift=*/4.0, 0.0, 0.5, 0.0, rng);
+  Matrix early = gen.sample(p, 300, 0.0, rng);
+  Matrix late = gen.sample(p, 300, 1.0, rng);
+  auto me = col_mean(early);
+  auto ml = col_mean(late);
+  EXPECT_NEAR(std::sqrt(sq_dist(me, ml)), 4.0, 1.0);
+}
+
+TEST(FlowGenerator, CorrelatedFeatures) {
+  Rng rng(3);
+  FlowGenerator gen(6, 1, 0.8, rng);  // rank-1 mixing dominating the noise
+  const auto p = gen.add_profile("corr", 0.0, 0.2, 0.0, 0.0, 0.0, 0.5, 0.0, rng);
+  Matrix x = gen.sample(p, 500, 0.0, rng);
+  double max_corr = 0.0;
+  for (std::size_t a = 0; a < 6; ++a)
+    for (std::size_t b = a + 1; b < 6; ++b)
+      max_corr = std::max(max_corr,
+                          std::abs(linalg::pearson(x.col_vec(a), x.col_vec(b))));
+  EXPECT_GT(max_corr, 0.8);
+}
+
+TEST(FlowGenerator, SubspaceShiftChangesCovarianceNotMean) {
+  Rng rng(4);
+  FlowGenerator gen(8, 3, 1.0, rng);
+  const auto base = gen.add_profile("base", 0.0, 0.5, 0.0, 0.0, 0.0, 0.5, 0.0, rng);
+  const auto shifted = gen.add_profile("shifted", 0.0, 0.5, 0.0, 0.0, 1.0, 0.5, 0.0, rng);
+  Matrix xb = gen.sample(base, 800, 0.0, rng);
+  Matrix xs = gen.sample(shifted, 800, 0.0, rng);
+  // Means coincide (both at the origin)...
+  EXPECT_LT(std::sqrt(sq_dist(col_mean(xb), col_mean(xs))), 1.0);
+  // ...but the covariance structure differs measurably.
+  Matrix cb = linalg::covariance(xb);
+  Matrix cs = linalg::covariance(xs);
+  EXPECT_GT(frobenius_sq(cb - cs), 1.0);
+}
+
+TEST(Synth, PaperDatasetShapesMatchTableI) {
+  const Dataset xiiot = make_x_iiotid(1);
+  EXPECT_EQ(xiiot.n_attack_classes(), 18u);
+  EXPECT_GT(xiiot.n_normals(), xiiot.n_attacks() * 0.9);  // ~51/49 split
+
+  const Dataset wustl = make_wustl_iiot(1);
+  EXPECT_EQ(wustl.n_attack_classes(), 4u);
+  // WUSTL is ~7% attack.
+  const double attack_frac = static_cast<double>(wustl.n_attacks()) /
+                             static_cast<double>(wustl.size());
+  EXPECT_LT(attack_frac, 0.12);
+  EXPECT_GT(attack_frac, 0.03);
+
+  const Dataset cicids = make_cicids2017(1);
+  EXPECT_EQ(cicids.n_attack_classes(), 15u);
+
+  const Dataset unsw = make_unsw_nb15(1);
+  EXPECT_EQ(unsw.n_attack_classes(), 10u);
+  EXPECT_EQ(unsw.n_features(), 40u);
+}
+
+TEST(Synth, DeterministicGivenSeed) {
+  const Dataset a = make_unsw_nb15(7, 0.2);
+  const Dataset b = make_unsw_nb15(7, 0.2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 97)
+    for (std::size_t j = 0; j < a.n_features(); ++j)
+      EXPECT_DOUBLE_EQ(a.x(i, j), b.x(i, j));
+}
+
+TEST(Synth, EveryAttackClassPresent) {
+  const Dataset ds = make_cicids2017(3, 0.3);
+  std::set<int> seen;
+  for (int c : ds.attack_class)
+    if (c >= 0) seen.insert(c);
+  EXPECT_EQ(seen.size(), 15u);
+}
+
+TEST(Synth, AllDatasetsValidate) {
+  for (const auto& ds : make_all_paper_datasets(5, 0.15)) {
+    EXPECT_NO_THROW(ds.validate());
+    EXPECT_GT(ds.n_attacks(), 0u);
+    EXPECT_GT(ds.n_normals(), 0u);
+  }
+}
+
+TEST(Csv, RoundTrip) {
+  Dataset ds = make_wustl_iiot(11, 0.05);
+  const std::string path = "/tmp/cnd_test_roundtrip.csv";
+  save_csv(ds, path);
+  Dataset back = load_csv(path, ds.name);
+  ASSERT_EQ(back.size(), ds.size());
+  ASSERT_EQ(back.n_features(), ds.n_features());
+  for (std::size_t i = 0; i < ds.size(); i += 53) {
+    EXPECT_EQ(back.y[i], ds.y[i]);
+    EXPECT_EQ(back.attack_class[i], ds.attack_class[i]);
+    for (std::size_t j = 0; j < ds.n_features(); ++j)
+      EXPECT_NEAR(back.x(i, j), ds.x(i, j), 1e-6);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Csv, LoadRejectsMissingFile) {
+  EXPECT_THROW(load_csv("/tmp/does_not_exist_cnd.csv"), std::invalid_argument);
+}
+
+TEST(Experiences, ProtocolStructure) {
+  const Dataset ds = make_unsw_nb15(13, 0.4);
+  const PrepConfig cfg{.n_experiences = 5, .clean_frac = 0.10, .train_frac = 0.7};
+  const ExperienceSet es = prepare_experiences(ds, cfg);
+
+  EXPECT_EQ(es.size(), 5u);
+  // N_c is ~10% of normal rows.
+  EXPECT_NEAR(static_cast<double>(es.n_clean.rows()),
+              0.10 * static_cast<double>(ds.n_normals()),
+              static_cast<double>(ds.n_normals()) * 0.01 + 2.0);
+
+  // Every attack family appears in exactly one experience.
+  std::set<int> seen;
+  std::size_t total_classes = 0;
+  for (const auto& e : es.experiences) {
+    for (int c : e.attack_classes_here) {
+      EXPECT_TRUE(seen.insert(c).second) << "family in two experiences";
+      ++total_classes;
+    }
+  }
+  EXPECT_EQ(total_classes, ds.n_attack_classes());
+
+  // Test labels match the family column, and both classes appear.
+  for (const auto& e : es.experiences) {
+    ASSERT_EQ(e.y_test.size(), e.x_test.rows());
+    ASSERT_EQ(e.test_class.size(), e.x_test.rows());
+    bool has_normal = false, has_attack = false;
+    for (std::size_t i = 0; i < e.y_test.size(); ++i) {
+      EXPECT_EQ(e.y_test[i], e.test_class[i] >= 0 ? 1 : 0);
+      has_normal |= (e.y_test[i] == 0);
+      has_attack |= (e.y_test[i] == 1);
+    }
+    EXPECT_TRUE(has_normal);
+    EXPECT_TRUE(has_attack);
+    // Train/test proportions roughly honored.
+    const double frac = static_cast<double>(e.x_train.rows()) /
+                        static_cast<double>(e.x_train.rows() + e.x_test.rows());
+    EXPECT_NEAR(frac, 0.7, 0.02);
+  }
+}
+
+TEST(Experiences, AttackFamiliesOnlyInTheirExperience) {
+  const Dataset ds = make_wustl_iiot(17, 0.4);
+  const ExperienceSet es = prepare_experiences(ds, {.n_experiences = 4});
+  for (std::size_t e = 0; e < es.size(); ++e) {
+    const auto& here = es.experiences[e].attack_classes_here;
+    const std::set<int> allowed(here.begin(), here.end());
+    for (int c : es.experiences[e].test_class)
+      if (c >= 0) EXPECT_TRUE(allowed.count(c)) << "foreign family in test set";
+  }
+}
+
+TEST(Experiences, StandardizationUsesCleanStats) {
+  const Dataset ds = make_unsw_nb15(19, 0.3);
+  const ExperienceSet es = prepare_experiences(ds, {.n_experiences = 5});
+  // N_c itself must be ~standard normal per column.
+  auto mu = col_mean(es.n_clean);
+  for (double v : mu) EXPECT_NEAR(v, 0.0, 1e-9);
+}
+
+TEST(Experiences, RejectsImpossibleSplits) {
+  const Dataset ds = make_wustl_iiot(23, 0.3);  // 4 attack classes
+  EXPECT_THROW(prepare_experiences(ds, {.n_experiences = 6}), std::invalid_argument);
+  EXPECT_THROW(prepare_experiences(ds, {.n_experiences = 1}), std::invalid_argument);
+  PrepConfig bad;
+  bad.clean_frac = 0.0;
+  EXPECT_THROW(prepare_experiences(ds, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cnd::data

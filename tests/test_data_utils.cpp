@@ -1,0 +1,141 @@
+// Unit tests for the data utilities: drift injection, replay buffer,
+// contamination / label-noise.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "data/contamination.hpp"
+#include "data/drift.hpp"
+#include "data/replay_buffer.hpp"
+#include "tensor/rng.hpp"
+
+namespace cnd::data {
+namespace {
+
+Matrix zeros(std::size_t n, std::size_t d) { return Matrix(n, d); }
+
+// ---- drift -----------------------------------------------------------------
+
+TEST(Drift, SuddenProfileIsStep) {
+  DriftSpec s{.kind = DriftKind::kSudden, .start_frac = 0.5};
+  EXPECT_EQ(drift_profile(s, 0.0), 0.0);
+  EXPECT_EQ(drift_profile(s, 0.49), 0.0);
+  EXPECT_EQ(drift_profile(s, 0.5), 1.0);
+  EXPECT_EQ(drift_profile(s, 1.0), 1.0);
+}
+
+TEST(Drift, GradualProfileRamps) {
+  DriftSpec s{.kind = DriftKind::kGradual, .start_frac = 0.5};
+  EXPECT_EQ(drift_profile(s, 0.25), 0.0);
+  EXPECT_NEAR(drift_profile(s, 0.75), 0.5, 1e-12);
+  EXPECT_NEAR(drift_profile(s, 1.0), 1.0, 1e-12);
+}
+
+TEST(Drift, RecurringProfileAlternates) {
+  DriftSpec s{.kind = DriftKind::kRecurring, .period_frac = 0.25};
+  EXPECT_EQ(drift_profile(s, 0.1), 0.0);
+  EXPECT_EQ(drift_profile(s, 0.3), 1.0);
+  EXPECT_EQ(drift_profile(s, 0.6), 0.0);
+  EXPECT_EQ(drift_profile(s, 0.8), 1.0);
+}
+
+TEST(Drift, InjectMagnitudeAndDeterminism) {
+  Matrix x = zeros(100, 6);
+  DriftSpec s{.kind = DriftKind::kSudden, .magnitude = 3.0, .start_frac = 0.5};
+  Matrix a = inject_drift(x, s);
+  Matrix b = inject_drift(x, s);
+  // Deterministic direction.
+  for (std::size_t j = 0; j < 6; ++j) EXPECT_EQ(a(99, j), b(99, j));
+  // Pre-drift rows untouched; post-drift rows moved by exactly `magnitude`.
+  double pre = 0.0, post = 0.0;
+  for (double v : a.row(0)) pre += v * v;
+  for (double v : a.row(99)) post += v * v;
+  EXPECT_EQ(pre, 0.0);
+  EXPECT_NEAR(std::sqrt(post), 3.0, 1e-9);
+}
+
+// ---- replay buffer ----------------------------------------------------------
+
+TEST(ReplayBuffer, FillsToCapacityThenHoldsSize) {
+  ReplayBuffer buf(10);
+  Matrix batch(7, 3, 1.0);
+  buf.add(batch);
+  EXPECT_EQ(buf.size(), 7u);
+  buf.add(batch);
+  EXPECT_EQ(buf.size(), 10u);
+  buf.add(batch);
+  EXPECT_EQ(buf.size(), 10u);
+  EXPECT_EQ(buf.seen(), 21u);
+}
+
+TEST(ReplayBuffer, ReservoirIsApproximatelyUniform) {
+  // Stream 1000 rows whose first feature is their index; with capacity 100
+  // the mean kept index should be near the stream middle, not its start.
+  ReplayBuffer buf(100, 99);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    Matrix one(1, 1);
+    one(0, 0) = static_cast<double>(i);
+    buf.add(one);
+  }
+  double mean = 0.0;
+  for (std::size_t i = 0; i < buf.size(); ++i) mean += buf.data()(i, 0);
+  mean /= static_cast<double>(buf.size());
+  EXPECT_NEAR(mean, 500.0, 120.0);
+}
+
+TEST(ReplayBuffer, SampleSizesClamped) {
+  ReplayBuffer buf(5);
+  buf.add(Matrix(3, 2, 1.0));
+  Rng rng(1);
+  EXPECT_EQ(buf.sample(10, rng).rows(), 3u);
+  EXPECT_EQ(buf.sample(2, rng).rows(), 2u);
+}
+
+TEST(ReplayBuffer, RejectsMisuse) {
+  EXPECT_THROW(ReplayBuffer(0), std::invalid_argument);
+  ReplayBuffer buf(4);
+  Rng rng(2);
+  EXPECT_THROW(buf.sample(1, rng), std::invalid_argument);  // empty
+  buf.add(Matrix(2, 3, 0.0));
+  EXPECT_THROW(buf.add(Matrix(1, 2, 0.0)), std::invalid_argument);  // width
+}
+
+// ---- contamination ----------------------------------------------------------
+
+TEST(Contaminate, ReplacesRequestedFraction) {
+  Rng rng(3);
+  Matrix clean(100, 2, 0.0);
+  Matrix attacks(10, 2, 9.0);
+  std::vector<std::size_t> poisoned;
+  Matrix out = contaminate(clean, attacks, 0.2, rng, &poisoned);
+  EXPECT_EQ(poisoned.size(), 20u);
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < out.rows(); ++i) changed += (out(i, 0) == 9.0);
+  EXPECT_EQ(changed, 20u);
+  // Poisoned indices are distinct.
+  std::set<std::size_t> uniq(poisoned.begin(), poisoned.end());
+  EXPECT_EQ(uniq.size(), poisoned.size());
+}
+
+TEST(Contaminate, ZeroFractionIsIdentity) {
+  Rng rng(4);
+  Matrix clean(20, 2, 1.5);
+  Matrix attacks(5, 2, 9.0);
+  Matrix out = contaminate(clean, attacks, 0.0, rng);
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_EQ(out(i, 0), 1.5);
+}
+
+TEST(FlipLabels, FlipsExactCount) {
+  Rng rng(5);
+  std::vector<int> y(50, 0);
+  auto flipped = flip_labels(y, 0.2, rng);
+  std::size_t ones = 0;
+  for (int v : flipped) ones += (v == 1);
+  EXPECT_EQ(ones, 10u);
+  EXPECT_THROW(flip_labels({2, 0}, 1.0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cnd::data

@@ -1,0 +1,188 @@
+// Property sweeps shared by every novelty detector in the library:
+//   - scores are finite,
+//   - scoring is row-wise (a row's score does not depend on its neighbours),
+//   - identical rows get identical scores,
+//   - the detector is deterministic given its seed.
+// Parameterized across detectors x data seeds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "ml/ae_detector.hpp"
+#include "ml/deep_isolation_forest.hpp"
+#include "ml/gmm.hpp"
+#include "ml/hbos.hpp"
+#include "ml/isolation_forest.hpp"
+#include "ml/knn_detector.hpp"
+#include "ml/lof.hpp"
+#include "ml/mahalanobis.hpp"
+#include "ml/ocsvm.hpp"
+#include "ml/pca.hpp"
+#include "tensor/rng.hpp"
+
+namespace cnd::ml {
+namespace {
+
+/// Type-erased detector: fit(train, seed) returns a scoring closure.
+using ScorerFactory = std::function<std::function<std::vector<double>(const Matrix&)>(
+    const Matrix&, std::uint64_t)>;
+
+struct DetectorCase {
+  const char* name;
+  ScorerFactory make;
+};
+
+// NOLINTNEXTLINE(cert-err58-cpp)
+const DetectorCase kDetectors[] = {
+    {"pca",
+     [](const Matrix& train, std::uint64_t) {
+       auto d = std::make_shared<Pca>(PcaConfig{.explained_variance = 0.9});
+       d->fit(train);
+       return [d](const Matrix& x) { return d->score(x); };
+     }},
+    {"lof",
+     [](const Matrix& train, std::uint64_t) {
+       auto d = std::make_shared<Lof>(LofConfig{.k = 10});
+       d->fit(train);
+       return [d](const Matrix& x) { return d->score(x); };
+     }},
+    {"ocsvm",
+     [](const Matrix& train, std::uint64_t) {
+       auto d = std::make_shared<OcSvm>(OcSvmConfig{.nu = 0.1});
+       d->fit(train);
+       return [d](const Matrix& x) { return d->score(x); };
+     }},
+    {"iforest",
+     [](const Matrix& train, std::uint64_t seed) {
+       auto d = std::make_shared<IsolationForest>(
+           IsolationForestConfig{.n_trees = 30});
+       Rng rng(seed);
+       d->fit(train, rng);
+       return [d](const Matrix& x) { return d->score(x); };
+     }},
+    {"dif",
+     [](const Matrix& train, std::uint64_t seed) {
+       auto d = std::make_shared<DeepIsolationForest>(
+           DeepIsolationForestConfig{.n_representations = 3, .trees_per_repr = 5});
+       Rng rng(seed);
+       d->fit(train, rng);
+       return [d](const Matrix& x) { return d->score(x); };
+     }},
+    {"gmm",
+     [](const Matrix& train, std::uint64_t seed) {
+       auto d = std::make_shared<Gmm>(GmmConfig{.n_components = 3});
+       Rng rng(seed);
+       d->fit(train, rng);
+       return [d](const Matrix& x) { return d->score(x); };
+     }},
+    {"mahalanobis",
+     [](const Matrix& train, std::uint64_t) {
+       auto d = std::make_shared<MahalanobisDetector>();
+       d->fit(train);
+       return [d](const Matrix& x) { return d->score(x); };
+     }},
+    {"knn",
+     [](const Matrix& train, std::uint64_t) {
+       auto d = std::make_shared<KnnDetector>(KnnDetectorConfig{.k = 5});
+       d->fit(train);
+       return [d](const Matrix& x) { return d->score(x); };
+     }},
+    {"hbos",
+     [](const Matrix& train, std::uint64_t) {
+       auto d = std::make_shared<Hbos>();
+       d->fit(train);
+       return [d](const Matrix& x) { return d->score(x); };
+     }},
+    {"ae",
+     [](const Matrix& train, std::uint64_t seed) {
+       auto d = std::make_shared<AeDetector>(
+           AeDetectorConfig{.hidden_dim = 16, .latent_dim = 4, .epochs = 5}, seed);
+       d->fit(train);
+       return [d](const Matrix& x) { return d->score(x); };
+     }},
+};
+
+struct CaseParam {
+  std::size_t detector_idx;
+  std::uint64_t seed;
+};
+
+class DetectorProperty : public ::testing::TestWithParam<CaseParam> {
+ protected:
+  Matrix make_train(std::uint64_t seed) {
+    Rng rng(seed);
+    Matrix x(150, 4);
+    for (std::size_t i = 0; i < x.rows(); ++i)
+      for (auto& v : x.row(i)) v = rng.normal();
+    return x;
+  }
+  Matrix make_test(std::uint64_t seed) {
+    Rng rng(seed ^ 0xFEED);
+    Matrix x(30, 4);
+    for (std::size_t i = 0; i < x.rows(); ++i)
+      for (auto& v : x.row(i)) v = rng.normal(0.0, 2.0);
+    return x;
+  }
+};
+
+TEST_P(DetectorProperty, ScoresFiniteAndRowWise) {
+  const auto [idx, seed] = GetParam();
+  const auto& det = kDetectors[idx];
+  Matrix train = make_train(seed);
+  Matrix test = make_test(seed);
+  auto scorer = det.make(train, seed);
+
+  const auto full = scorer(test);
+  ASSERT_EQ(full.size(), test.rows());
+  for (double v : full) EXPECT_TRUE(std::isfinite(v)) << det.name;
+
+  // Row-wise: scoring a subset matches the corresponding full-batch scores.
+  const std::vector<std::size_t> subset{3, 17, 8};
+  const auto part = scorer(test.take_rows(subset));
+  for (std::size_t i = 0; i < subset.size(); ++i)
+    EXPECT_NEAR(part[i], full[subset[i]], 1e-9) << det.name;
+}
+
+TEST_P(DetectorProperty, DuplicateRowsScoreIdentically) {
+  const auto [idx, seed] = GetParam();
+  const auto& det = kDetectors[idx];
+  Matrix train = make_train(seed);
+  auto scorer = det.make(train, seed);
+
+  Matrix dup(2, 4);
+  Rng rng(seed ^ 0xD0D0);
+  for (std::size_t j = 0; j < 4; ++j) {
+    dup(0, j) = rng.normal();
+    dup(1, j) = dup(0, j);
+  }
+  const auto s = scorer(dup);
+  EXPECT_DOUBLE_EQ(s[0], s[1]) << det.name;
+}
+
+TEST_P(DetectorProperty, DeterministicGivenSeed) {
+  const auto [idx, seed] = GetParam();
+  const auto& det = kDetectors[idx];
+  Matrix train = make_train(seed);
+  Matrix test = make_test(seed);
+  const auto a = det.make(train, seed)(test);
+  const auto b = det.make(train, seed)(test);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]) << det.name;
+}
+
+std::vector<CaseParam> all_cases() {
+  std::vector<CaseParam> out;
+  for (std::size_t d = 0; d < std::size(kDetectors); ++d)
+    for (std::uint64_t seed : {11u, 77u}) out.push_back({d, seed});
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, DetectorProperty, ::testing::ValuesIn(all_cases()),
+    [](const ::testing::TestParamInfo<CaseParam>& info) {
+      return std::string(kDetectors[info.param.detector_idx].name) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace cnd::ml

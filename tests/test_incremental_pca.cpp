@@ -1,0 +1,103 @@
+// Unit tests for streaming/incremental PCA.
+#include "ml/incremental_pca.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/stats.hpp"
+#include "ml/pca.hpp"
+#include "tensor/rng.hpp"
+
+namespace cnd::ml {
+namespace {
+
+Matrix random_lowrank(std::size_t n, std::size_t d, Rng& rng, double noise = 0.1) {
+  Matrix basis(3, d);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (auto& v : basis.row(i)) v = rng.normal();
+  Matrix z(n, 3);
+  for (std::size_t i = 0; i < n; ++i)
+    for (auto& v : z.row(i)) v = rng.normal(0.0, 2.0);
+  Matrix x = matmul(z, basis);
+  for (std::size_t i = 0; i < n; ++i)
+    for (auto& v : x.row(i)) v += rng.normal(0.0, noise);
+  return x;
+}
+
+TEST(IncrementalPca, MatchesBatchCovarianceExactly) {
+  Rng rng(1);
+  Matrix x = random_lowrank(257, 6, rng);  // odd size: uneven final batch
+  IncrementalPca inc;
+  // Feed in uneven chunks.
+  std::size_t pos = 0;
+  for (std::size_t chunk : {50, 1, 100, 106}) {
+    std::vector<std::size_t> idx;
+    for (std::size_t i = 0; i < chunk; ++i) idx.push_back(pos + i);
+    inc.partial_fit(x.take_rows(idx));
+    pos += chunk;
+  }
+  ASSERT_EQ(inc.n_seen(), 257u);
+
+  const Matrix cov_inc = inc.covariance();
+  const Matrix cov_batch = linalg::covariance(x);
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = 0; j < 6; ++j)
+      EXPECT_NEAR(cov_inc(i, j), cov_batch(i, j), 1e-9);
+}
+
+TEST(IncrementalPca, ScoresAgreeWithBatchPca) {
+  Rng rng(2);
+  Matrix x = random_lowrank(300, 8, rng);
+  IncrementalPca inc({.explained_variance = 0.95});
+  inc.partial_fit(x);
+  inc.refresh();
+
+  Pca batch({.explained_variance = 0.95});
+  batch.fit(x);
+
+  ASSERT_EQ(inc.n_components(), batch.n_components());
+  Matrix probe = random_lowrank(50, 8, rng);
+  const auto si = inc.score(probe);
+  const auto sb = batch.score(probe);
+  for (std::size_t i = 0; i < si.size(); ++i) EXPECT_NEAR(si[i], sb[i], 1e-6);
+}
+
+TEST(IncrementalPca, RefreshRequiredBeforeScoring) {
+  Rng rng(3);
+  IncrementalPca inc;
+  inc.partial_fit(random_lowrank(50, 4, rng));
+  EXPECT_THROW(inc.score(Matrix(1, 4)), std::invalid_argument);
+  inc.refresh();
+  EXPECT_NO_THROW(inc.score(Matrix(1, 4)));
+}
+
+TEST(IncrementalPca, AdaptsToDistributionShift) {
+  // Feed phase-1 data, refresh; then feed lots of shifted phase-2 data and
+  // refresh again: phase-2 points must score much lower after the update.
+  Rng rng(4);
+  Matrix phase1 = random_lowrank(300, 6, rng);
+  Matrix phase2 = random_lowrank(900, 6, rng);
+  for (std::size_t i = 0; i < phase2.rows(); ++i)
+    for (auto& v : phase2.row(i)) v += 6.0;
+
+  IncrementalPca inc({.explained_variance = 0.95});
+  inc.partial_fit(phase1);
+  inc.refresh();
+  double before = 0.0;
+  for (double v : inc.score(phase2)) before += v;
+
+  inc.partial_fit(phase2);
+  inc.refresh();
+  double after = 0.0;
+  for (double v : inc.score(phase2)) after += v;
+  EXPECT_LT(after, before * 0.8);
+}
+
+TEST(IncrementalPca, RejectsWidthChange) {
+  Rng rng(5);
+  IncrementalPca inc;
+  inc.partial_fit(random_lowrank(20, 4, rng));
+  EXPECT_THROW(inc.partial_fit(Matrix(5, 3)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cnd::ml

@@ -1,0 +1,116 @@
+// Unit tests for K-Means and the elbow method.
+#include "ml/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "ml/elbow.hpp"
+
+namespace cnd::ml {
+namespace {
+
+/// Three well-separated blobs of `per` points each.
+Matrix three_blobs(std::size_t per, Rng& rng) {
+  const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  Matrix x(3 * per, 2);
+  for (std::size_t c = 0; c < 3; ++c)
+    for (std::size_t i = 0; i < per; ++i) {
+      x(c * per + i, 0) = rng.normal(centers[c][0], 0.5);
+      x(c * per + i, 1) = rng.normal(centers[c][1], 0.5);
+    }
+  return x;
+}
+
+TEST(KMeans, RecoversBlobCentroids) {
+  Rng rng(1);
+  Matrix x = three_blobs(50, rng);
+  KMeans km({.k = 3});
+  km.fit(x, rng);
+
+  // Every true center must be within 1.0 of some centroid.
+  const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  for (const auto& c : centers) {
+    double best = 1e18;
+    for (std::size_t j = 0; j < 3; ++j) {
+      const std::vector<double> ctr{km.centroids()(j, 0), km.centroids()(j, 1)};
+      const std::vector<double> truth{c[0], c[1]};
+      best = std::min(best, sq_dist(ctr, truth));
+    }
+    EXPECT_LT(best, 1.0);
+  }
+}
+
+TEST(KMeans, AssignmentsConsistentWithinBlob) {
+  Rng rng(2);
+  Matrix x = three_blobs(40, rng);
+  KMeans km({.k = 3});
+  km.fit(x, rng);
+  auto a = km.predict(x);
+  // All points of one blob share a label; labels across blobs differ.
+  std::set<std::size_t> blob_labels;
+  for (std::size_t c = 0; c < 3; ++c) {
+    const std::size_t lbl = a[c * 40];
+    for (std::size_t i = 0; i < 40; ++i) EXPECT_EQ(a[c * 40 + i], lbl);
+    blob_labels.insert(lbl);
+  }
+  EXPECT_EQ(blob_labels.size(), 3u);
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters) {
+  Rng rng(3);
+  Matrix x = three_blobs(30, rng);
+  double prev = 1e18;
+  for (std::size_t k = 1; k <= 4; ++k) {
+    KMeans km({.k = k});
+    km.fit(x, rng);
+    const double in = km.inertia(x);
+    EXPECT_LE(in, prev + 1e-9);
+    prev = in;
+  }
+}
+
+TEST(KMeans, KEqualsNGivesZeroInertia) {
+  Rng rng(4);
+  Matrix x{{0, 0}, {5, 5}, {9, 1}};
+  KMeans km({.k = 3});
+  km.fit(x, rng);
+  EXPECT_NEAR(km.inertia(x), 0.0, 1e-18);
+}
+
+TEST(KMeans, RejectsBadInputs) {
+  Rng rng(5);
+  KMeans km({.k = 5});
+  EXPECT_THROW(km.fit(Matrix(3, 2), rng), std::invalid_argument);
+  KMeans unfitted({.k = 2});
+  EXPECT_THROW(unfitted.predict(Matrix(1, 2)), std::invalid_argument);
+}
+
+TEST(KMeans, PredictRejectsFeatureMismatch) {
+  Rng rng(6);
+  Matrix x = three_blobs(10, rng);
+  KMeans km({.k = 2});
+  km.fit(x, rng);
+  EXPECT_THROW(km.predict(Matrix(1, 5)), std::invalid_argument);
+}
+
+TEST(Elbow, FindsThreeBlobs) {
+  Rng rng(7);
+  Matrix x = three_blobs(60, rng);
+  const std::size_t k = elbow_k(x, rng, 2, 8);
+  // The bend of the inertia curve for 3 crisp blobs is at k = 3.
+  EXPECT_EQ(k, 3u);
+}
+
+TEST(Elbow, RespectsRangeBounds) {
+  Rng rng(8);
+  Matrix x = three_blobs(20, rng);
+  const std::size_t k = elbow_k(x, rng, 4, 6);
+  EXPECT_GE(k, 4u);
+  EXPECT_LE(k, 6u);
+  EXPECT_THROW(elbow_k(x, rng, 1, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cnd::ml

@@ -1,0 +1,143 @@
+// Round-trip tests for model serialization (InferenceModel artifacts).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "io/binary.hpp"
+#include "io/model_io.hpp"
+#include "ml/scaler.hpp"
+
+namespace cnd::io {
+namespace {
+
+// ---- binary primitives ------------------------------------------------------
+
+TEST(BinaryIo, PrimitiveRoundTrip) {
+  const std::string path = "/tmp/cnd_bin_prim.bin";
+  {
+    std::ofstream f(path, std::ios::binary);
+    write_header(f);
+    write_u64(f, 12345);
+    write_f64(f, 3.14159);
+    write_string(f, "hello artifact");
+    write_vec(f, {1.0, 2.5, -3.0});
+    write_matrix(f, Matrix{{1, 2}, {3, 4}});
+  }
+  std::ifstream f(path, std::ios::binary);
+  read_header(f);
+  EXPECT_EQ(read_u64(f), 12345u);
+  EXPECT_DOUBLE_EQ(read_f64(f), 3.14159);
+  EXPECT_EQ(read_string(f), "hello artifact");
+  EXPECT_EQ(read_vec(f), (std::vector<double>{1.0, 2.5, -3.0}));
+  Matrix m = read_matrix(f);
+  EXPECT_EQ(m(1, 1), 4.0);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIo, RejectsWrongMagic) {
+  const std::string path = "/tmp/cnd_bin_bad.bin";
+  {
+    std::ofstream f(path, std::ios::binary);
+    const std::uint32_t junk = 0xDEADBEEF;
+    f.write(reinterpret_cast<const char*>(&junk), sizeof(junk));
+    f.write(reinterpret_cast<const char*>(&junk), sizeof(junk));
+  }
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_THROW(read_header(f), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+// ---- InferenceModel ---------------------------------------------------------
+
+struct TrainedFixture {
+  core::CndIds detector{make_cfg()};
+  ml::StandardScaler scaler;
+  Matrix test;
+
+  static core::CndIdsConfig make_cfg() {
+    core::CndIdsConfig c;
+    c.cfe.hidden_dim = 24;
+    c.cfe.latent_dim = 12;
+    c.cfe.epochs = 3;
+    c.cfe.kmeans_k = 2;
+    return c;
+  }
+
+  TrainedFixture() {
+    Rng rng(5);
+    Matrix raw_clean(120, 6);
+    for (std::size_t i = 0; i < raw_clean.rows(); ++i)
+      for (auto& v : raw_clean.row(i)) v = rng.normal(10.0, 3.0);
+    scaler.fit(raw_clean);
+    Matrix n_clean = scaler.transform(raw_clean);
+
+    Matrix stream(200, 6);
+    for (std::size_t i = 0; i < stream.rows(); ++i)
+      for (std::size_t j = 0; j < 6; ++j)
+        stream(i, j) = rng.normal(10.0 + (i % 4 == 0 && j < 2 ? 20.0 : 0.0), 3.0);
+    Matrix seed_x;
+    std::vector<int> seed_y;
+    detector.setup(core::SetupContext{n_clean, seed_x, seed_y});
+    detector.observe_experience(scaler.transform(stream));
+
+    test = Matrix(40, 6);
+    for (std::size_t i = 0; i < 40; ++i)
+      for (std::size_t j = 0; j < 6; ++j)
+        test(i, j) = rng.normal(10.0 + (i < 10 && j < 2 ? 20.0 : 0.0), 3.0);
+  }
+};
+
+TEST(InferenceModel, ScoresMatchDetector) {
+  TrainedFixture fx;
+  InferenceModel model(fx.detector, fx.scaler, /*threshold=*/1.0);
+  const auto from_model = model.score(fx.test);
+  const auto from_detector = fx.detector.score(fx.scaler.transform(fx.test));
+  ASSERT_EQ(from_model.size(), from_detector.size());
+  for (std::size_t i = 0; i < from_model.size(); ++i)
+    EXPECT_NEAR(from_model[i], from_detector[i], 1e-12);
+}
+
+TEST(InferenceModel, SaveLoadRoundTrip) {
+  TrainedFixture fx;
+  InferenceModel model(fx.detector, fx.scaler, 2.5);
+  const std::string path = "/tmp/cnd_model_artifact.bin";
+  model.save(path);
+
+  InferenceModel back = InferenceModel::load(path);
+  EXPECT_TRUE(back.ready());
+  EXPECT_TRUE(back.has_scaler());
+  EXPECT_DOUBLE_EQ(back.threshold(), 2.5);
+
+  const auto a = model.score(fx.test);
+  const auto b = back.score(fx.test);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+
+  const auto pa = model.predict(fx.test);
+  const auto pb = back.predict(fx.test);
+  EXPECT_EQ(pa, pb);
+  std::remove(path.c_str());
+}
+
+TEST(InferenceModel, PredictUsesThreshold) {
+  TrainedFixture fx;
+  InferenceModel lenient(fx.detector, fx.scaler, 1e12);
+  InferenceModel strict(fx.detector, fx.scaler, -1.0);
+  const auto none = lenient.predict(fx.test);
+  const auto all = strict.predict(fx.test);
+  for (int v : none) EXPECT_EQ(v, 0);
+  for (int v : all) EXPECT_EQ(v, 1);
+}
+
+TEST(InferenceModel, LoadRejectsMissingFile) {
+  EXPECT_THROW(InferenceModel::load("/tmp/definitely_missing_cnd.bin"),
+               std::invalid_argument);
+}
+
+TEST(InferenceModel, EmptyModelRejectsScoring) {
+  InferenceModel empty;
+  EXPECT_THROW(empty.score(Matrix(1, 3)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cnd::io

@@ -1,0 +1,135 @@
+// Unit tests for Dropout and LayerNorm (including gradient checks).
+#include "nn/regularization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/linear.hpp"
+#include "nn/losses.hpp"
+#include "nn/sequential.hpp"
+
+namespace cnd::nn {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i)
+    for (auto& v : m.row(i)) v = rng.normal();
+  return m;
+}
+
+TEST(Dropout, IdentityAtInference) {
+  Dropout drop(0.5);
+  Matrix x{{1, 2, 3}};
+  Matrix y = drop.forward(x, /*train=*/false);
+  for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(y(0, j), x(0, j));
+}
+
+TEST(Dropout, DropRateApproximatelyP) {
+  Dropout drop(0.3);
+  Matrix x(100, 100, 1.0);
+  Matrix y = drop.forward(x, /*train=*/true);
+  std::size_t zeros = 0;
+  for (std::size_t i = 0; i < y.rows(); ++i)
+    for (double v : y.row(i)) zeros += (v == 0.0);
+  const double rate = static_cast<double>(zeros) / 10000.0;
+  EXPECT_NEAR(rate, 0.3, 0.03);
+}
+
+TEST(Dropout, InvertedScalingPreservesExpectation) {
+  Dropout drop(0.4);
+  Matrix x(200, 50, 2.0);
+  Matrix y = drop.forward(x, /*train=*/true);
+  double mean = 0.0;
+  for (std::size_t i = 0; i < y.rows(); ++i)
+    for (double v : y.row(i)) mean += v;
+  mean /= static_cast<double>(y.size());
+  EXPECT_NEAR(mean, 2.0, 0.1);
+}
+
+TEST(Dropout, BackwardMatchesMask) {
+  Dropout drop(0.5);
+  Matrix x(4, 6, 1.0);
+  Matrix y = drop.forward(x, /*train=*/true);
+  Matrix g(4, 6, 1.0);
+  Matrix gx = drop.backward(g);
+  // Gradient flows exactly where activations survived (same scaled mask).
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 6; ++j) EXPECT_EQ(gx(i, j), y(i, j));
+}
+
+TEST(Dropout, RejectsBadP) {
+  EXPECT_THROW(Dropout(1.0), std::invalid_argument);
+  EXPECT_THROW(Dropout(-0.1), std::invalid_argument);
+}
+
+TEST(LayerNorm, NormalizesRows) {
+  LayerNorm ln(5);
+  Rng rng(1);
+  Matrix x = random_matrix(8, 5, rng);
+  for (std::size_t i = 0; i < x.rows(); ++i)
+    for (auto& v : x.row(i)) v = v * 7.0 + 3.0;  // arbitrary scale/shift
+  Matrix y = ln.forward(x, false);
+  for (std::size_t i = 0; i < y.rows(); ++i) {
+    double mean = 0.0, var = 0.0;
+    for (double v : y.row(i)) mean += v;
+    mean /= 5.0;
+    for (double v : y.row(i)) var += (v - mean) * (v - mean);
+    var /= 5.0;
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(LayerNorm, GradientCheckThroughNetwork) {
+  Rng rng(2);
+  Sequential net;
+  net.add(std::make_unique<Linear>(4, 6, rng));
+  net.add(std::make_unique<LayerNorm>(6));
+  net.add(std::make_unique<Linear>(6, 3, rng));
+  Matrix x = random_matrix(5, 4, rng);
+  Matrix t = random_matrix(5, 3, rng);
+
+  net.zero_grad();
+  Matrix out = net.forward(x, true);
+  LossGrad lg = mse_loss(out, t);
+  net.backward(lg.grad);
+  std::vector<Matrix> analytic;
+  for (auto p : net.params()) analytic.push_back(*p.grad);
+
+  const double h = 1e-6;
+  auto params = net.params();
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    Matrix* w = params[k].value;
+    for (std::size_t i = 0; i < w->rows(); ++i)
+      for (std::size_t j = 0; j < w->cols(); ++j) {
+        const double orig = (*w)(i, j);
+        (*w)(i, j) = orig + h;
+        const double lp = mse_loss(net.forward(x, false), t).loss;
+        (*w)(i, j) = orig - h;
+        const double lm = mse_loss(net.forward(x, false), t).loss;
+        (*w)(i, j) = orig;
+        EXPECT_NEAR(analytic[k](i, j), (lp - lm) / (2.0 * h), 1e-5)
+            << "param " << k << " (" << i << "," << j << ")";
+      }
+  }
+}
+
+TEST(LayerNorm, CloneIsIndependent) {
+  LayerNorm ln(3);
+  auto copy = ln.clone();
+  Matrix x{{1, 2, 3}};
+  Matrix a = ln.forward(x, false);
+  (*ln.params()[0].value)(0, 0) = 5.0;  // scale gamma on the original
+  Matrix b = copy->forward(x, false);
+  EXPECT_DOUBLE_EQ(a(0, 0), b(0, 0));
+}
+
+TEST(LayerNorm, RejectsWidthMismatch) {
+  LayerNorm ln(4);
+  EXPECT_THROW(ln.forward(Matrix(2, 3), false), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cnd::nn

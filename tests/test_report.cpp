@@ -1,0 +1,66 @@
+// Unit tests for per-family reporting.
+#include "eval/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cnd::eval {
+namespace {
+
+TEST(FamilyReport, BreakdownCountsAndRecall) {
+  //          normal  normal  fam0  fam0  fam1
+  const std::vector<double> scores{0.1, 0.9, 0.8, 0.2, 0.7};
+  const std::vector<int> y{0, 0, 1, 1, 1};
+  const std::vector<int> fam{-1, -1, 0, 0, 1};
+  const std::vector<std::string> names{"dos", "scan"};
+
+  FamilyReport rep = family_breakdown(scores, y, fam, names, /*threshold=*/0.5);
+  ASSERT_EQ(rep.families.size(), 3u);
+
+  EXPECT_EQ(rep.families[0].name, "normal");
+  EXPECT_EQ(rep.families[0].count, 2u);
+  EXPECT_DOUBLE_EQ(rep.families[0].recall, 0.5);  // FPR: one normal flagged
+
+  EXPECT_EQ(rep.families[1].name, "dos");
+  EXPECT_DOUBLE_EQ(rep.families[1].recall, 0.5);
+  EXPECT_DOUBLE_EQ(rep.families[1].mean_score, 0.5);
+
+  EXPECT_EQ(rep.families[2].name, "scan");
+  EXPECT_DOUBLE_EQ(rep.families[2].recall, 1.0);
+}
+
+TEST(FamilyReport, HardestFamilyPicksLowestRecall) {
+  const std::vector<double> scores{0.9, 0.9, 0.1, 0.1, 0.9};
+  const std::vector<int> y{1, 1, 1, 1, 0};
+  const std::vector<int> fam{0, 0, 1, 1, -1};
+  const std::vector<std::string> names{"easy", "hard"};
+  FamilyReport rep = family_breakdown(scores, y, fam, names, 0.5);
+  EXPECT_EQ(rep.hardest_family(), 1);
+}
+
+TEST(FamilyReport, HardestFamilyNegativeWithoutAttacks) {
+  const std::vector<double> scores{0.1, 0.2};
+  const std::vector<int> y{0, 0};
+  const std::vector<int> fam{-1, -1};
+  FamilyReport rep = family_breakdown(scores, y, fam, {}, 0.5);
+  EXPECT_EQ(rep.hardest_family(), -1);
+}
+
+TEST(FamilyReport, MarkdownContainsAllFamilies) {
+  const std::vector<double> scores{0.9, 0.1};
+  const std::vector<int> y{1, 0};
+  const std::vector<int> fam{0, -1};
+  FamilyReport rep = family_breakdown(scores, y, fam, {"worm"}, 0.5);
+  const std::string md = rep.to_markdown();
+  EXPECT_NE(md.find("| worm |"), std::string::npos);
+  EXPECT_NE(md.find("| normal |"), std::string::npos);
+  EXPECT_NE(md.find("(FPR)"), std::string::npos);
+}
+
+TEST(FamilyReport, RejectsInconsistentInputs) {
+  EXPECT_THROW(family_breakdown({0.1}, {1}, {-1}, {}, 0.5), std::logic_error);
+  EXPECT_THROW(family_breakdown({0.1}, {1}, {3}, {"a"}, 0.5), std::logic_error);
+  EXPECT_THROW(family_breakdown({}, {}, {}, {}, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cnd::eval

@@ -1,0 +1,117 @@
+// Unit tests for the seeded RNG wrapper.
+#include "tensor/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace cnd {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= (a.uniform() != b.uniform());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.normal(5.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.25);
+}
+
+TEST(Rng, RandintInclusiveBounds) {
+  Rng r(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.randint(0, 5);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 5);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_THROW(r.randint(3, 2), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliExtreme) {
+  Rng r(17);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ExponentialPositive) {
+  Rng r(19);
+  for (int i = 0; i < 100; ++i) EXPECT_GT(r.exponential(2.0), 0.0);
+  EXPECT_THROW(r.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, HeavyTailHasOutliers) {
+  // Student-t with 3 dof produces |v| > 4 far more often than a Gaussian.
+  Rng r(23);
+  int extreme_t = 0;
+  for (int i = 0; i < 20000; ++i) extreme_t += (std::abs(r.heavy_tail(3.0)) > 4.0);
+  int extreme_g = 0;
+  for (int i = 0; i < 20000; ++i) extreme_g += (std::abs(r.normal()) > 4.0);
+  EXPECT_GT(extreme_t, extreme_g + 20);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng r(29);
+  const std::vector<double> w{0.0, 1.0, 9.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 5000; ++i) ++counts[r.categorical(w)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_GT(counts[2], counts[1] * 5);
+  EXPECT_THROW(r.categorical({}), std::invalid_argument);
+  EXPECT_THROW(r.categorical({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(r.categorical({-1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng r(31);
+  auto p = r.permutation(50);
+  std::sort(p.begin(), p.end());
+  for (std::size_t i = 0; i < 50; ++i) EXPECT_EQ(p[i], i);
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  Rng parent(41);
+  Rng c1 = parent.split(1);
+  Rng c2 = parent.split(1);  // same salt, later state -> still different
+  Rng c3 = parent.split(2);
+  EXPECT_NE(c1.uniform(), c2.uniform());
+  EXPECT_NE(c1.uniform(), c3.uniform());
+}
+
+}  // namespace
+}  // namespace cnd

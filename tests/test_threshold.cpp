@@ -1,0 +1,75 @@
+// Unit tests for Best-F and quantile thresholding.
+#include "eval/threshold.hpp"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.hpp"
+
+namespace cnd::eval {
+namespace {
+
+TEST(BestF, PerfectSeparationGivesF1One) {
+  const std::vector<double> s{5.0, 4.0, 1.0, 0.5};
+  const std::vector<int> y{1, 1, 0, 0};
+  auto r = best_f_threshold(s, y);
+  EXPECT_DOUBLE_EQ(r.f1, 1.0);
+  // Threshold sits between the classes.
+  EXPECT_GT(r.threshold, 1.0);
+  EXPECT_LT(r.threshold, 4.0);
+}
+
+TEST(BestF, MatchesExhaustiveSearch) {
+  const std::vector<double> s{0.1, 0.9, 0.3, 0.8, 0.5, 0.4, 0.7, 0.2};
+  const std::vector<int> y{0, 1, 0, 0, 1, 1, 1, 0};
+  auto r = best_f_threshold(s, y);
+
+  // Brute-force over a fine grid.
+  double best = 0.0;
+  for (double t = -0.05; t <= 1.05; t += 0.001) {
+    const double f1 = f1_score(apply_threshold(s, t), y);
+    best = std::max(best, f1);
+  }
+  EXPECT_NEAR(r.f1, best, 1e-9);
+  // The returned threshold reproduces the returned F1.
+  EXPECT_NEAR(f1_score(apply_threshold(s, r.threshold), y), r.f1, 1e-12);
+}
+
+TEST(BestF, TiedScoresHandled) {
+  const std::vector<double> s{1.0, 1.0, 1.0, 0.0};
+  const std::vector<int> y{1, 1, 0, 0};
+  auto r = best_f_threshold(s, y);
+  // Cut below the tied block: P = 2/3, R = 1 -> F1 = 0.8.
+  EXPECT_NEAR(r.f1, 0.8, 1e-12);
+  EXPECT_NEAR(f1_score(apply_threshold(s, r.threshold), y), r.f1, 1e-12);
+}
+
+TEST(BestF, AllNegativeLabels) {
+  const std::vector<double> s{0.3, 0.2};
+  const std::vector<int> y{0, 0};
+  auto r = best_f_threshold(s, y);
+  // No positives: predicting nothing is optimal (F1 defined as 1 here since
+  // there is nothing to find).
+  EXPECT_DOUBLE_EQ(r.f1, 1.0);
+  EXPECT_TRUE(apply_threshold(s, r.threshold) == (std::vector<int>{0, 0}));
+}
+
+TEST(BestF, RejectsEmpty) {
+  EXPECT_THROW(best_f_threshold({}, {}), std::invalid_argument);
+}
+
+TEST(QuantileThreshold, InterpolatesAndBounds) {
+  std::vector<double> cal{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(quantile_threshold(cal, 0.5), 5.0);
+  EXPECT_NEAR(quantile_threshold(cal, 0.95), 9.5, 1e-12);
+  EXPECT_THROW(quantile_threshold(cal, 0.0), std::invalid_argument);
+  EXPECT_THROW(quantile_threshold({}, 0.5), std::invalid_argument);
+}
+
+TEST(ApplyThreshold, StrictInequality) {
+  const std::vector<double> s{1.0, 2.0, 3.0};
+  const auto p = apply_threshold(s, 2.0);
+  EXPECT_EQ(p, (std::vector<int>{0, 0, 1}));
+}
+
+}  // namespace
+}  // namespace cnd::eval

@@ -1,0 +1,44 @@
+# End-to-end smoke test of the `cnd` CLI: gen -> run -> score(+save) -> apply.
+# Invoked by ctest with -DCND_BIN=<path-to-binary>.
+if(NOT DEFINED CND_BIN)
+  message(FATAL_ERROR "CND_BIN not set")
+endif()
+
+set(work "${CMAKE_CURRENT_BINARY_DIR}/cli_smoke_work")
+file(MAKE_DIRECTORY "${work}")
+set(csv "${work}/smoke.csv")
+set(model "${work}/smoke_model.bin")
+
+function(run_step)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "step failed (${rc}): ${ARGN}\n${out}\n${err}")
+  endif()
+  set(last_out "${out}" PARENT_SCOPE)
+endfunction()
+
+run_step("${CND_BIN}" gen --dataset=wustl_iiot "--out=${csv}" --scale=0.05 --seed=3)
+if(NOT EXISTS "${csv}")
+  message(FATAL_ERROR "gen did not write ${csv}")
+endif()
+
+run_step("${CND_BIN}" run "--data=${csv}" --experiences=4 --epochs=2)
+string(FIND "${last_out}" "AVG=" has_avg)
+if(has_avg EQUAL -1)
+  message(FATAL_ERROR "run output missing AVG metric:\n${last_out}")
+endif()
+
+run_step("${CND_BIN}" score "--train=${csv}" "--test=${csv}" --epochs=2
+         "--save-model=${model}")
+if(NOT EXISTS "${model}")
+  message(FATAL_ERROR "score did not write the model artifact")
+endif()
+
+run_step("${CND_BIN}" apply "--model=${model}" "--test=${csv}" --explain)
+string(FIND "${last_out}" "threshold=" has_thr)
+if(has_thr EQUAL -1)
+  message(FATAL_ERROR "apply output missing threshold:\n${last_out}")
+endif()
+
+message(STATUS "cli smoke test passed")

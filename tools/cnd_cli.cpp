@@ -1,0 +1,213 @@
+// cnd — command-line interface to the CND-IDS library.
+//
+// Subcommands:
+//   gen   --dataset=<x_iiotid|wustl_iiot|cicids2017|unsw_nb15> --out=<csv>
+//         [--scale=0.25] [--seed=42]
+//       Write a synthetic intrusion dataset in the library CSV format.
+//
+//   run   --data=<csv> [--experiences=5] [--seed=7] [--epochs=8]
+//       Run the full continual protocol (Algorithm 1) on a labeled CSV and
+//       print the R matrix plus AVG / FwdTrans / BwdTrans.
+//
+//   score --train=<csv> --test=<csv> [--quantile=0.99] [--epochs=8]
+//         [--save-model=<bin>]
+//       Train CND-IDS on the train CSV (labels ignored — the method is
+//       label-free; rows marked normal form N_c), then print one anomaly
+//       score and verdict per test row. --save-model freezes the trained
+//       scoring path into a deployable artifact.
+//
+//   apply --model=<bin> --test=<csv> [--explain]
+//       Score a test CSV with a saved artifact (no training). --explain
+//       appends the top latent-feature attributions for each alarmed row
+//       (which directions of the learned representation drove the score).
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "core/cnd_ids.hpp"
+#include "core/experience_runner.hpp"
+#include "core/explanation.hpp"
+#include "io/model_io.hpp"
+#include "data/csv.hpp"
+#include "data/experiences.hpp"
+#include "data/synth.hpp"
+#include "eval/threshold.hpp"
+#include "ml/scaler.hpp"
+
+namespace {
+
+using namespace cnd;
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv, int from) {
+  std::map<std::string, std::string> out;
+  for (int i = from; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) != 0) continue;
+    const auto eq = a.find('=');
+    if (eq == std::string::npos)
+      out[a.substr(2)] = "1";
+    else
+      out[a.substr(2, eq - 2)] = a.substr(eq + 1);
+  }
+  return out;
+}
+
+std::string flag(const std::map<std::string, std::string>& f, const std::string& k,
+                 const std::string& def) {
+  auto it = f.find(k);
+  return it == f.end() ? def : it->second;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: cnd <gen|run|score|apply> [--flags]\n"
+               "  gen   --dataset=x_iiotid|wustl_iiot|cicids2017|unsw_nb15 "
+               "--out=FILE [--scale=0.25] [--seed=42]\n"
+               "  run   --data=FILE [--experiences=5] [--seed=7] [--epochs=8]\n"
+               "  score --train=FILE --test=FILE [--quantile=0.99] [--epochs=8] "
+               "[--save-model=FILE]\n"
+               "  apply --model=FILE --test=FILE\n");
+  return 2;
+}
+
+int cmd_gen(const std::map<std::string, std::string>& f) {
+  const std::string name = flag(f, "dataset", "unsw_nb15");
+  const std::string out = flag(f, "out", "");
+  if (out.empty()) return usage();
+  const double scale = std::stod(flag(f, "scale", "0.25"));
+  const auto seed = static_cast<std::uint64_t>(std::stoull(flag(f, "seed", "42")));
+
+  data::Dataset ds;
+  if (name == "x_iiotid")
+    ds = data::make_x_iiotid(seed, scale);
+  else if (name == "wustl_iiot")
+    ds = data::make_wustl_iiot(seed, scale);
+  else if (name == "cicids2017")
+    ds = data::make_cicids2017(seed, scale);
+  else if (name == "unsw_nb15")
+    ds = data::make_unsw_nb15(seed, scale);
+  else
+    return usage();
+
+  data::save_csv(ds, out);
+  std::printf("wrote %s: %zu rows, %zu features, %zu attack families\n",
+              out.c_str(), ds.size(), ds.n_features(), ds.n_attack_classes());
+  return 0;
+}
+
+int cmd_run(const std::map<std::string, std::string>& f) {
+  const std::string path = flag(f, "data", "");
+  if (path.empty()) return usage();
+  const auto m = static_cast<std::size_t>(std::stoul(flag(f, "experiences", "5")));
+  const auto seed = static_cast<std::uint64_t>(std::stoull(flag(f, "seed", "7")));
+
+  data::Dataset ds = data::load_csv(path, "cli");
+  data::ExperienceSet es =
+      data::prepare_experiences(ds, {.n_experiences = m, .seed = seed});
+
+  core::CndIdsConfig cfg;
+  cfg.cfe.epochs = static_cast<std::size_t>(std::stoul(flag(f, "epochs", "8")));
+  cfg.seed = seed;
+  core::CndIds det(cfg);
+  const core::RunResult res =
+      core::run_protocol(det, es, {.seed = seed, .verbose = true});
+
+  std::printf("\nAVG=%.4f FwdTrans=%.4f BwdTrans=%+.4f  (fit %.0f ms, "
+              "%.4f ms/sample inference)\n",
+              res.avg(), res.fwd(), res.bwd(), res.fit_ms_total,
+              res.infer_ms_per_sample);
+  return 0;
+}
+
+int cmd_score(const std::map<std::string, std::string>& f) {
+  const std::string train_path = flag(f, "train", "");
+  const std::string test_path = flag(f, "test", "");
+  if (train_path.empty() || test_path.empty()) return usage();
+  const double q = std::stod(flag(f, "quantile", "0.99"));
+
+  data::Dataset train = data::load_csv(train_path, "train");
+  data::Dataset test = data::load_csv(test_path, "test");
+
+  // N_c = rows labeled normal in the training file; the full (unlabeled)
+  // training matrix is the stream CND-IDS adapts to.
+  std::vector<std::size_t> normal_rows;
+  for (std::size_t i = 0; i < train.size(); ++i)
+    if (train.y[i] == 0) normal_rows.push_back(i);
+  if (normal_rows.size() < 16) {
+    std::fprintf(stderr, "score: need at least 16 normal rows in --train\n");
+    return 1;
+  }
+
+  ml::StandardScaler scaler;
+  Matrix n_clean = scaler.fit_transform(train.x.take_rows(normal_rows));
+  Matrix x_stream = scaler.transform(train.x);
+  Matrix x_test = scaler.transform(test.x);
+
+  core::CndIdsConfig cfg;
+  cfg.cfe.epochs = static_cast<std::size_t>(std::stoul(flag(f, "epochs", "8")));
+  core::CndIds det(cfg);
+  Matrix seed_x;
+  std::vector<int> seed_y;
+  det.setup(core::SetupContext{n_clean, seed_x, seed_y});
+  det.observe_experience(x_stream);
+
+  const double tau = eval::quantile_threshold(det.score(n_clean), q);
+
+  const std::string model_path = flag(f, "save-model", "");
+  if (!model_path.empty()) {
+    io::InferenceModel(det, scaler, tau).save(model_path);
+    std::fprintf(stderr, "saved model artifact to %s\n", model_path.c_str());
+  }
+
+  const auto scores = det.score(x_test);
+  std::printf("# row,score,verdict  (threshold=%.6f at q=%.2f)\n", tau, q);
+  for (std::size_t i = 0; i < scores.size(); ++i)
+    std::printf("%zu,%.6f,%s\n", i, scores[i],
+                scores[i] > tau ? "attack" : "normal");
+  return 0;
+}
+
+int cmd_apply(const std::map<std::string, std::string>& f) {
+  const std::string model_path = flag(f, "model", "");
+  const std::string test_path = flag(f, "test", "");
+  if (model_path.empty() || test_path.empty()) return usage();
+
+  io::InferenceModel model = io::InferenceModel::load(model_path);
+  data::Dataset test = data::load_csv(test_path, "test");
+  const auto scores = model.score(test.x);
+  const auto verdicts = model.predict(test.x);
+  const bool explain = flag(f, "explain", "") == "1";
+
+  std::vector<std::vector<core::FeatureAttribution>> attrs;
+  if (explain)
+    attrs = core::explain_fre(model.pca(), model.encode(test.x), /*top_k=*/3);
+
+  std::printf("# row,score,verdict%s  (threshold=%.6f from artifact)\n",
+              explain ? ",top_latent_features" : "", model.threshold());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    std::printf("%zu,%.6f,%s", i, scores[i], verdicts[i] ? "attack" : "normal");
+    if (explain && verdicts[i])
+      std::printf(",\"%s\"", core::format_attribution(attrs[i]).c_str());
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const auto flags = parse_flags(argc, argv, 2);
+  try {
+    if (cmd == "gen") return cmd_gen(flags);
+    if (cmd == "run") return cmd_run(flags);
+    if (cmd == "score") return cmd_score(flags);
+    if (cmd == "apply") return cmd_apply(flags);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cnd %s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
+  return usage();
+}
