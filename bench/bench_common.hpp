@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,7 @@
 #include "ml/lof.hpp"
 #include "ml/ocsvm.hpp"
 #include "ml/pca.hpp"
+#include "runtime/parallel_for.hpp"
 
 namespace cnd::bench {
 
@@ -31,18 +33,98 @@ struct BenchOptions {
   double size_scale = 0.5;
   std::uint64_t seed = 42;
   bool verbose = false;
+  /// Runtime lanes; 0 = leave the runtime default (CND_THREADS env or
+  /// hardware concurrency). See docs/PARALLELISM.md.
+  std::size_t threads = 0;
 };
 
-/// Parse "--scale=0.25 --seed=7 --verbose" style argv (used by all benches).
+namespace detail {
+
+/// Value of "--flag=v" as double; throws std::invalid_argument unless the
+/// whole value parses (rejects "--scale=abc" and "--scale=0.5x").
+inline double parse_double_flag(const std::string& arg, std::size_t prefix_len) {
+  const std::string v = arg.substr(prefix_len);
+  std::size_t pos = 0;
+  double x = 0.0;
+  try {
+    x = std::stod(v, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bench: malformed value in '" + arg + "'");
+  }
+  if (v.empty() || pos != v.size())
+    throw std::invalid_argument("bench: malformed value in '" + arg + "'");
+  return x;
+}
+
+/// Value of "--flag=v" as non-negative integer, same strictness.
+inline std::uint64_t parse_uint_flag(const std::string& arg, std::size_t prefix_len) {
+  const std::string v = arg.substr(prefix_len);
+  std::size_t pos = 0;
+  std::uint64_t x = 0;
+  try {
+    x = std::stoull(v, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bench: malformed value in '" + arg + "'");
+  }
+  if (v.empty() || pos != v.size() || v[0] == '-')
+    throw std::invalid_argument("bench: malformed value in '" + arg + "'");
+  return x;
+}
+
+}  // namespace detail
+
+/// Parse "--scale=0.25 --seed=7 --threads=4 --verbose" style argv (used by
+/// all benches). Malformed values throw std::invalid_argument instead of
+/// silently defaulting; unknown arguments are ignored (google-benchmark
+/// binaries forward their own flags). A --threads value is applied to the
+/// parallel runtime immediately.
 inline BenchOptions parse_options(int argc, char** argv) {
   BenchOptions o;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a.rfind("--scale=", 0) == 0) o.size_scale = std::stod(a.substr(8));
-    if (a.rfind("--seed=", 0) == 0) o.seed = std::stoull(a.substr(7));
+    if (a.rfind("--scale=", 0) == 0) {
+      o.size_scale = detail::parse_double_flag(a, 8);
+      if (o.size_scale <= 0.0)
+        throw std::invalid_argument("bench: --scale must be > 0");
+    }
+    if (a.rfind("--seed=", 0) == 0) o.seed = detail::parse_uint_flag(a, 7);
+    if (a.rfind("--threads=", 0) == 0) {
+      o.threads = static_cast<std::size_t>(detail::parse_uint_flag(a, 10));
+      if (o.threads == 0)
+        throw std::invalid_argument("bench: --threads must be >= 1");
+    }
     if (a == "--verbose") o.verbose = true;
   }
+  if (o.threads > 0) runtime::set_threads(o.threads);
   return o;
+}
+
+/// Remove the harness flags (--scale/--seed/--threads/--verbose) from argv
+/// in place, updating argc. The google-benchmark binaries call this between
+/// parse_options and benchmark::Initialize — google-benchmark aborts on
+/// flags it does not recognize.
+inline void strip_harness_flags(int& argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const bool ours = a.rfind("--scale=", 0) == 0 || a.rfind("--seed=", 0) == 0 ||
+                      a.rfind("--threads=", 0) == 0 || a == "--verbose";
+    if (!ours) argv[out++] = argv[i];
+  }
+  argc = out;
+}
+
+/// Deterministic bench fan-out: run job(i) for every i in [0, n_jobs)
+/// across the runtime pool. Jobs must be independent — each derives its own
+/// RNG streams from its seed and writes only its own result slot, so the
+/// aggregated output is identical at any thread count. Inside a job, the
+/// substrate's own parallelism is suppressed (nested regions run serially),
+/// which is the right shape: coarse-grained jobs saturate the pool.
+template <typename Job>
+inline void parallel_jobs(std::size_t n_jobs, Job&& job) {
+  runtime::parallel_for(0, n_jobs, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) job(i);
+  });
 }
 
 /// The paper's experience counts: 5 for X-IIoTID / CICIDS2017 / UNSW-NB15,

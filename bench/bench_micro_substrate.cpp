@@ -4,6 +4,7 @@
 // experiment bench in this repository.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "linalg/eigen.hpp"
 #include "ml/kmeans.hpp"
 #include "ml/pca.hpp"
@@ -88,4 +89,14 @@ BENCHMARK(BM_PcaFreScore)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: accept the shared harness flags (notably --threads, which
+// matters most here), strip them, then hand argv to google-benchmark.
+int main(int argc, char** argv) {
+  cnd::bench::parse_options(argc, argv);
+  cnd::bench::strip_harness_flags(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,6 +5,12 @@
 // standard deviation per dataset, so the orderings can be read with error
 // bars. Expect the CND-IDS-first ordering to hold on the means with
 // occasional per-seed inversions on the closest pairs.
+//
+// The seed x dataset grid is embarrassingly parallel: every cell builds its
+// own dataset and detectors from its own seed, so the cells fan out over
+// the runtime pool (bench::parallel_jobs) and the aggregated table is
+// identical at any thread count.
+#include <array>
 #include <cstdio>
 #include <cmath>
 #include <map>
@@ -22,23 +28,36 @@ int main(int argc, char** argv) {
               seeds.size());
 
   const std::vector<std::string> methods{"PCA", "DIF", "CND-IDS"};
-  // dataset -> method -> per-seed values
-  std::map<std::string, std::map<std::string, std::vector<double>>> acc;
-  std::vector<std::string> dataset_names;
+  // Same order as data::make_all_paper_datasets.
+  using Factory = data::Dataset (*)(std::uint64_t, double);
+  const std::vector<Factory> factories{data::make_x_iiotid, data::make_wustl_iiot,
+                                       data::make_cicids2017, data::make_unsw_nb15};
 
-  for (std::uint64_t seed : seeds) {
-    for (data::Dataset& ds : data::make_all_paper_datasets(seed, opt.size_scale)) {
-      if (seed == seeds.front()) dataset_names.push_back(ds.name);
-      const data::ExperienceSet es = bench::make_experience_set(ds, seed);
-      acc[ds.name]["PCA"].push_back(bench::run_static_pca(es).f1.avg_all());
-      acc[ds.name]["DIF"].push_back(bench::run_static_dif(es, seed).f1.avg_all());
-      core::CndIds det(bench::paper_cnd_config(seed));
-      acc[ds.name]["CND-IDS"].push_back(
-          core::run_protocol(det, es, {.seed = seed}).avg());
-    }
-    std::printf("seed %llu done\n", static_cast<unsigned long long>(seed));
-    std::fflush(stdout);
-  }
+  // cell_f1[job] = {pca, dif, cnd} for job = seed-index * n_datasets + d.
+  const std::size_t n_jobs = seeds.size() * factories.size();
+  std::vector<std::array<double, 3>> cell_f1(n_jobs);
+  std::vector<std::string> dataset_names(factories.size());
+
+  bench::parallel_jobs(n_jobs, [&](std::size_t job) {
+    const std::uint64_t seed = seeds[job / factories.size()];
+    const std::size_t d = job % factories.size();
+    data::Dataset ds = factories[d](seed, opt.size_scale);
+    if (seed == seeds.front()) dataset_names[d] = ds.name;
+    const data::ExperienceSet es = bench::make_experience_set(ds, seed);
+    cell_f1[job][0] = bench::run_static_pca(es).f1.avg_all();
+    cell_f1[job][1] = bench::run_static_dif(es, seed).f1.avg_all();
+    core::CndIds det(bench::paper_cnd_config(seed));
+    cell_f1[job][2] = core::run_protocol(det, es, {.seed = seed}).avg();
+  });
+  std::printf("%zu seed x dataset cells done\n", n_jobs);
+
+  // dataset -> method -> per-seed values, rebuilt in deterministic order.
+  std::map<std::string, std::map<std::string, std::vector<double>>> acc;
+  for (std::size_t s = 0; s < seeds.size(); ++s)
+    for (std::size_t d = 0; d < factories.size(); ++d)
+      for (std::size_t m = 0; m < methods.size(); ++m)
+        acc[dataset_names[d]][methods[m]].push_back(
+            cell_f1[s * factories.size() + d][m]);
 
   auto mean_std = [](const std::vector<double>& v) {
     double m = 0.0;

@@ -6,6 +6,7 @@
 //   w/o L_CS                AVG 66.23%  Bwd +0.09%  Fwd 70.26%   (worse everywhere)
 //   w/o L_R                 AVG 72.86%  Bwd -5.44%  Fwd 67.82%   (forgets, generalizes worse)
 //   w/o L_R and L_CL        AVG 79.92%  Bwd -11.26% Fwd 71.01%   (best AVG, worst Bwd)
+#include <array>
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -30,24 +31,35 @@ int main(int argc, char** argv) {
       {"CND-IDS (w/o L_R and L_CL)", true, false, false},
   };
 
-  std::vector<std::vector<double>> per_variant(4, std::vector<double>(3, 0.0));
+  // Dataset and experience preparation stays serial (one RNG lineage); the
+  // dataset x variant protocol runs — the expensive part — fan out over the
+  // runtime pool, each writing its own result cell.
   const auto datasets = data::make_all_paper_datasets(opt.seed, opt.size_scale);
-  for (const data::Dataset& ds : datasets) {
-    const data::ExperienceSet es = bench::make_experience_set(ds, opt.seed);
-    std::printf("%s:\n", ds.name.c_str());
+  std::vector<data::ExperienceSet> sets;
+  sets.reserve(datasets.size());
+  for (const data::Dataset& ds : datasets)
+    sets.push_back(bench::make_experience_set(ds, opt.seed));
+
+  std::vector<std::array<double, 3>> cell(datasets.size() * 4);
+  bench::parallel_jobs(cell.size(), [&](std::size_t job) {
+    const std::size_t d = job / 4, v = job % 4;
+    core::CndIdsConfig cfg = bench::paper_cnd_config(opt.seed);
+    cfg.cfe.use_cs = variants[v].cs;
+    cfg.cfe.use_r = variants[v].r;
+    cfg.cfe.use_cl = variants[v].cl;
+    core::CndIds det(cfg);
+    const core::RunResult res = core::run_protocol(det, sets[d], {.seed = opt.seed});
+    cell[job] = {res.avg(), res.bwd(), res.fwd()};
+  });
+
+  std::vector<std::vector<double>> per_variant(4, std::vector<double>(3, 0.0));
+  for (std::size_t d = 0; d < datasets.size(); ++d) {
+    std::printf("%s:\n", datasets[d].name.c_str());
     for (std::size_t v = 0; v < 4; ++v) {
-      core::CndIdsConfig cfg = bench::paper_cnd_config(opt.seed);
-      cfg.cfe.use_cs = variants[v].cs;
-      cfg.cfe.use_r = variants[v].r;
-      cfg.cfe.use_cl = variants[v].cl;
-      core::CndIds det(cfg);
-      const core::RunResult res = core::run_protocol(det, es, {.seed = opt.seed});
+      const auto& res = cell[d * 4 + v];
       std::printf("  %-28s AVG=%.4f Bwd=%+.4f Fwd=%.4f\n", variants[v].label,
-                  res.avg(), res.bwd(), res.fwd());
-      per_variant[v][0] += res.avg();
-      per_variant[v][1] += res.bwd();
-      per_variant[v][2] += res.fwd();
-      std::fflush(stdout);
+                  res[0], res[1], res[2]);
+      for (std::size_t j = 0; j < 3; ++j) per_variant[v][j] += res[j];
     }
     std::printf("\n");
   }

@@ -7,26 +7,33 @@
 // single CPU core here); the ordering is the claim under test.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "bench_common.hpp"
 
 namespace {
 
 using namespace cnd;
 
+/// Harness options, set by main() before any benchmark runs. The scale is
+/// clamped to 0.25 (the fixture's historical size) so defaults reproduce
+/// the committed numbers.
+bench::BenchOptions g_opt;
+
 /// Everything fit once, shared across timing runs.
 struct Fixture {
   data::ExperienceSet es;
   Matrix batch;                 // the timed scoring batch
-  core::CndIds cnd{bench::paper_cnd_config(42)};
-  baselines::Adcn adcn{bench::paper_adcn_config(42)};
-  baselines::Lwf lwf{bench::paper_lwf_config(42)};
+  core::CndIds cnd{bench::paper_cnd_config(g_opt.seed)};
+  baselines::Adcn adcn{bench::paper_adcn_config(g_opt.seed)};
+  baselines::Lwf lwf{bench::paper_lwf_config(g_opt.seed)};
   ml::DeepIsolationForest dif{{.n_representations = 24, .trees_per_repr = 6}};
   ml::Pca pca{{.explained_variance = 0.95}};
 
   Fixture() : es(make_es()) {
     batch = es.experiences.back().x_test;
 
-    Rng rng(42);
+    Rng rng(g_opt.seed);
     Matrix seed_x;
     std::vector<int> seed_y;
     // Build the baselines' labeled seed exactly as the runner does.
@@ -54,8 +61,9 @@ struct Fixture {
   }
 
   static data::ExperienceSet make_es() {
-    data::Dataset ds = data::make_unsw_nb15(42, 0.25);
-    return bench::make_experience_set(ds, 42);
+    const double scale = std::min(g_opt.size_scale, 0.25);
+    data::Dataset ds = data::make_unsw_nb15(g_opt.seed, scale);
+    return bench::make_experience_set(ds, g_opt.seed);
   }
 
   static Fixture& instance() {
@@ -108,4 +116,14 @@ BENCHMARK(BM_Pca)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: accept the shared harness flags (--scale/--seed/--threads),
+// then strip them — google-benchmark aborts on flags it does not know.
+int main(int argc, char** argv) {
+  g_opt = cnd::bench::parse_options(argc, argv);
+  cnd::bench::strip_harness_flags(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "runtime/parallel_for.hpp"
 #include "tensor/assert.hpp"
 
 namespace cnd::linalg {
@@ -11,11 +12,15 @@ namespace cnd::linalg {
 Matrix pairwise_dist(const Matrix& a, const Matrix& b) {
   require(a.cols() == b.cols(), "pairwise_dist: feature mismatch");
   Matrix d(a.rows(), b.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    auto ra = a.row(i);
-    for (std::size_t j = 0; j < b.rows(); ++j)
-      d(i, j) = std::sqrt(sq_dist(ra, b.row(j)));
-  }
+  runtime::parallel_for(0, a.rows(),
+                        runtime::grain_for_cost(b.rows() * a.cols()),
+                        [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      auto ra = a.row(i);
+      for (std::size_t j = 0; j < b.rows(); ++j)
+        d(i, j) = std::sqrt(sq_dist(ra, b.row(j)));
+    }
+  });
   return d;
 }
 
@@ -29,30 +34,36 @@ Knn knn(const Matrix& query, const Matrix& ref, std::size_t k, bool exclude_self
   out.indices.resize(query.rows());
   out.distances.resize(query.rows());
 
-  std::vector<std::pair<double, std::size_t>> cand(ref.rows());
-  for (std::size_t i = 0; i < query.rows(); ++i) {
-    auto q = query.row(i);
-    for (std::size_t j = 0; j < ref.rows(); ++j)
-      cand[j] = {sq_dist(q, ref.row(j)), j};
-    std::size_t skip = exclude_self ? 1 : 0;
-    std::partial_sort(cand.begin(), cand.begin() + static_cast<std::ptrdiff_t>(k + skip),
-                      cand.end());
-    auto& idx = out.indices[i];
-    auto& dst = out.distances[i];
-    idx.reserve(k);
-    dst.reserve(k);
-    for (std::size_t j = 0; j < k + skip && idx.size() < k; ++j) {
-      if (exclude_self && cand[j].second == i && cand[j].first == 0.0) continue;
-      idx.push_back(cand[j].second);
-      dst.push_back(std::sqrt(cand[j].first));
+  // Queries are independent; each chunk carries its own candidate scratch.
+  runtime::parallel_for(0, query.rows(),
+                        runtime::grain_for_cost(ref.rows() * query.cols()),
+                        [&](std::size_t lo, std::size_t hi) {
+    std::vector<std::pair<double, std::size_t>> cand(ref.rows());
+    for (std::size_t i = lo; i < hi; ++i) {
+      auto q = query.row(i);
+      for (std::size_t j = 0; j < ref.rows(); ++j)
+        cand[j] = {sq_dist(q, ref.row(j)), j};
+      std::size_t skip = exclude_self ? 1 : 0;
+      std::partial_sort(cand.begin(),
+                        cand.begin() + static_cast<std::ptrdiff_t>(k + skip),
+                        cand.end());
+      auto& idx = out.indices[i];
+      auto& dst = out.distances[i];
+      idx.reserve(k);
+      dst.reserve(k);
+      for (std::size_t j = 0; j < k + skip && idx.size() < k; ++j) {
+        if (exclude_self && cand[j].second == i && cand[j].first == 0.0) continue;
+        idx.push_back(cand[j].second);
+        dst.push_back(std::sqrt(cand[j].first));
+      }
+      // If the self-match was not at distance zero duplicated, we may still
+      // need one more neighbour.
+      for (std::size_t j = k + skip; idx.size() < k && j < cand.size(); ++j) {
+        idx.push_back(cand[j].second);
+        dst.push_back(std::sqrt(cand[j].first));
+      }
     }
-    // If the self-match was not at distance zero duplicated, we may still
-    // need one more neighbour.
-    for (std::size_t j = k + skip; idx.size() < k && j < cand.size(); ++j) {
-      idx.push_back(cand[j].second);
-      dst.push_back(std::sqrt(cand[j].first));
-    }
-  }
+  });
   return out;
 }
 

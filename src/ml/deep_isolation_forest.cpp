@@ -35,6 +35,9 @@ Matrix DeepIsolationForest::represent(std::size_t r, const Matrix& x) const {
 
 std::vector<double> DeepIsolationForest::score(const Matrix& x) const {
   require(fitted(), "DeepIsolationForest::score: not fitted");
+  // The representation loop stays serial (forward() touches shared layer
+  // buffers); the batch parallelism lives one level down, in the matmuls of
+  // represent() and the per-row IsolationForest::score.
   std::vector<double> out(x.rows(), 0.0);
   for (std::size_t r = 0; r < forests_.size(); ++r) {
     const Matrix z = represent(r, x);

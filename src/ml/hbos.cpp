@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/parallel_for.hpp"
 #include "tensor/assert.hpp"
 
 namespace cnd::ml {
@@ -43,17 +44,20 @@ std::vector<double> Hbos::score(const Matrix& x) const {
   require(fitted(), "Hbos::score: not fitted");
   require(x.cols() == lo_.size(), "Hbos::score: feature mismatch");
   std::vector<double> out(x.rows(), 0.0);
-  for (std::size_t i = 0; i < x.rows(); ++i) {
-    auto r = x.row(i);
-    for (std::size_t j = 0; j < x.cols(); ++j) {
-      const double pos = (r[j] - lo_[j]) / width_[j];
-      if (pos < 0.0 || pos >= static_cast<double>(cfg_.n_bins)) {
-        out[i] += empty_penalty_;
-      } else {
-        out[i] += neglog_[j][static_cast<std::size_t>(pos)];
+  runtime::parallel_for(0, x.rows(), runtime::grain_for_cost(x.cols()),
+                        [&](std::size_t r_lo, std::size_t r_hi) {
+    for (std::size_t i = r_lo; i < r_hi; ++i) {
+      auto r = x.row(i);
+      for (std::size_t j = 0; j < x.cols(); ++j) {
+        const double pos = (r[j] - lo_[j]) / width_[j];
+        if (pos < 0.0 || pos >= static_cast<double>(cfg_.n_bins)) {
+          out[i] += empty_penalty_;
+        } else {
+          out[i] += neglog_[j][static_cast<std::size_t>(pos)];
+        }
       }
     }
-  }
+  });
   return out;
 }
 

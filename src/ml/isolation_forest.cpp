@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/parallel_for.hpp"
 #include "tensor/assert.hpp"
 
 namespace cnd::ml {
@@ -21,18 +22,27 @@ void IsolationForest::fit(const Matrix& x, Rng& rng) {
       static_cast<std::size_t>(std::ceil(std::log2(std::max<double>(2.0, psi))));
   c_norm_ = std::max(iforest_c(static_cast<double>(psi)), 1e-12);
 
-  trees_.clear();
-  trees_.reserve(cfg_.n_trees);
-  for (std::size_t t = 0; t < cfg_.n_trees; ++t) {
-    // Sample psi distinct rows.
-    auto perm = rng.permutation(x.rows());
-    std::vector<std::size_t> idx(perm.begin(),
-                                 perm.begin() + static_cast<std::ptrdiff_t>(psi));
-    Tree tree;
-    tree.reserve(2 * psi);
-    build(tree, x, idx, 0, idx.size(), 0, max_depth, rng);
-    trees_.push_back(std::move(tree));
-  }
+  // Derive one RNG stream per tree up front (serially, from the caller's
+  // stream) so tree t consumes the same draws no matter which worker builds
+  // it — fitting is bit-identical at any thread count.
+  std::vector<Rng> tree_rngs;
+  tree_rngs.reserve(cfg_.n_trees);
+  for (std::size_t t = 0; t < cfg_.n_trees; ++t) tree_rngs.push_back(rng.split(t));
+
+  trees_.assign(cfg_.n_trees, Tree{});
+  runtime::parallel_for(0, cfg_.n_trees, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t t = lo; t < hi; ++t) {
+      Rng& trng = tree_rngs[t];
+      // Sample psi distinct rows.
+      auto perm = trng.permutation(x.rows());
+      std::vector<std::size_t> idx(perm.begin(),
+                                   perm.begin() + static_cast<std::ptrdiff_t>(psi));
+      Tree tree;
+      tree.reserve(2 * psi);
+      build(tree, x, idx, 0, idx.size(), 0, max_depth, trng);
+      trees_[t] = std::move(tree);
+    }
+  });
 }
 
 std::size_t IsolationForest::build(Tree& tree, const Matrix& x,
@@ -99,12 +109,15 @@ double IsolationForest::path_length(const Tree& tree, std::span<const double> p)
 std::vector<double> IsolationForest::score(const Matrix& x) const {
   require(fitted(), "IsolationForest::score: not fitted");
   std::vector<double> out(x.rows());
-  for (std::size_t i = 0; i < x.rows(); ++i) {
-    double h = 0.0;
-    for (const auto& t : trees_) h += path_length(t, x.row(i));
-    h /= static_cast<double>(trees_.size());
-    out[i] = std::pow(2.0, -h / c_norm_);
-  }
+  runtime::parallel_for(0, x.rows(), runtime::grain_for_cost(trees_.size() * 16),
+                        [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      double h = 0.0;
+      for (const auto& t : trees_) h += path_length(t, x.row(i));
+      h /= static_cast<double>(trees_.size());
+      out[i] = std::pow(2.0, -h / c_norm_);
+    }
+  });
   return out;
 }
 

@@ -1,6 +1,7 @@
 #include "ml/knn_detector.hpp"
 
 #include "linalg/distance.hpp"
+#include "runtime/parallel_for.hpp"
 #include "tensor/assert.hpp"
 
 namespace cnd::ml {
@@ -12,17 +13,22 @@ void KnnDetector::fit(const Matrix& x) {
 
 std::vector<double> KnnDetector::score(const Matrix& x) const {
   require(fitted(), "KnnDetector::score: not fitted");
+  // The neighbour search inside linalg::knn is the hot part and is itself
+  // batch-parallel; the reduction below parallelizes per sample.
   const linalg::Knn nn = linalg::knn(x, ref_, cfg_.k, /*exclude_self=*/false);
   std::vector<double> out(x.rows());
-  for (std::size_t i = 0; i < x.rows(); ++i) {
-    if (cfg_.use_kth_only) {
-      out[i] = nn.distances[i].back();
-    } else {
-      double s = 0.0;
-      for (double d : nn.distances[i]) s += d;
-      out[i] = s / static_cast<double>(nn.distances[i].size());
+  runtime::parallel_for(0, x.rows(), runtime::grain_for_cost(cfg_.k),
+                        [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (cfg_.use_kth_only) {
+        out[i] = nn.distances[i].back();
+      } else {
+        double s = 0.0;
+        for (double d : nn.distances[i]) s += d;
+        out[i] = s / static_cast<double>(nn.distances[i].size());
+      }
     }
-  }
+  });
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/parallel_for.hpp"
 #include "tensor/assert.hpp"
 
 namespace cnd::ml {
@@ -15,9 +16,14 @@ void Lof::fit(const Matrix& x) {
   ref_kdist_.resize(ref_.rows());
   for (std::size_t i = 0; i < ref_.rows(); ++i) ref_kdist_[i] = nn.distances[i].back();
 
+  // lrd reads the complete ref_kdist_ array, so it only starts after the
+  // loop above finishes; per-point lrds are then independent.
   ref_lrd_.resize(ref_.rows());
-  for (std::size_t i = 0; i < ref_.rows(); ++i)
-    ref_lrd_[i] = lrd_of(nn.distances[i], nn.indices[i]);
+  runtime::parallel_for(0, ref_.rows(), runtime::grain_for_cost(cfg_.k),
+                        [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i)
+      ref_lrd_[i] = lrd_of(nn.distances[i], nn.indices[i]);
+  });
 }
 
 double Lof::lrd_of(std::span<const double> dists,
@@ -33,13 +39,16 @@ std::vector<double> Lof::score(const Matrix& x) const {
   require(fitted(), "Lof::score: not fitted");
   const linalg::Knn nn = linalg::knn(x, ref_, cfg_.k, /*exclude_self=*/false);
   std::vector<double> out(x.rows());
-  for (std::size_t i = 0; i < x.rows(); ++i) {
-    const double lrd_q = lrd_of(nn.distances[i], nn.indices[i]);
-    double neigh_lrd = 0.0;
-    for (std::size_t j : nn.indices[i]) neigh_lrd += ref_lrd_[j];
-    neigh_lrd /= static_cast<double>(nn.indices[i].size());
-    out[i] = neigh_lrd / std::max(lrd_q, 1e-12);
-  }
+  runtime::parallel_for(0, x.rows(), runtime::grain_for_cost(cfg_.k),
+                        [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const double lrd_q = lrd_of(nn.distances[i], nn.indices[i]);
+      double neigh_lrd = 0.0;
+      for (std::size_t j : nn.indices[i]) neigh_lrd += ref_lrd_[j];
+      neigh_lrd /= static_cast<double>(nn.indices[i].size());
+      out[i] = neigh_lrd / std::max(lrd_q, 1e-12);
+    }
+  });
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "linalg/stats.hpp"
+#include "runtime/parallel_for.hpp"
 #include "tensor/assert.hpp"
 
 namespace cnd::ml {
@@ -41,16 +42,20 @@ void OcSvm::fit(const Matrix& x_full) {
     gamma_ = 1.0 / (static_cast<double>(x.cols()) * std::max(var, 1e-12));
   }
 
-  // Dense kernel matrix.
+  // Dense kernel matrix. Row i fills (i, j>=i) and mirrors into (j, i);
+  // every element is written by exactly one task, so rows parallelize.
   Matrix k(n, n);
-  for (std::size_t i = 0; i < n; ++i) {
-    k(i, i) = 1.0;
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const double v = kernel(x.row(i), x.row(j));
-      k(i, j) = v;
-      k(j, i) = v;
+  runtime::parallel_for(0, n, runtime::grain_for_cost(n * x.cols() / 2),
+                        [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      k(i, i) = 1.0;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double v = kernel(x.row(i), x.row(j));
+        k(i, j) = v;
+        k(j, i) = v;
+      }
     }
-  }
+  });
 
   // Feasible start: uniform alpha = 1/n (satisfies sum = 1, 0 <= a <= C
   // because C = 1/(nu*n) >= 1/n).
@@ -132,13 +137,17 @@ std::vector<double> OcSvm::score(const Matrix& x) const {
   require(fitted(), "OcSvm::score: not fitted");
   require(x.cols() == sv_.cols(), "OcSvm::score: feature mismatch");
   std::vector<double> out(x.rows());
-  for (std::size_t i = 0; i < x.rows(); ++i) {
-    double f = 0.0;
-    auto q = x.row(i);
-    for (std::size_t s = 0; s < sv_.rows(); ++s)
-      f += alpha_[s] * kernel(q, sv_.row(s));
-    out[i] = rho_ - f;
-  }
+  runtime::parallel_for(0, x.rows(),
+                        runtime::grain_for_cost(sv_.rows() * x.cols()),
+                        [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      double f = 0.0;
+      auto q = x.row(i);
+      for (std::size_t s = 0; s < sv_.rows(); ++s)
+        f += alpha_[s] * kernel(q, sv_.row(s));
+      out[i] = rho_ - f;
+    }
+  });
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/parallel_for.hpp"
 #include "tensor/assert.hpp"
 
 namespace cnd::ml {
@@ -19,25 +20,33 @@ void RandomForest::fit(const Matrix& x, const std::vector<std::size_t>& y,
           : std::max<std::size_t>(
                 1, static_cast<std::size_t>(std::sqrt(static_cast<double>(x.cols()))));
 
-  trees_.clear();
-  trees_.reserve(cfg_.n_trees);
-  for (std::size_t t = 0; t < cfg_.n_trees; ++t) {
-    // Bootstrap sample.
-    std::vector<std::size_t> boot(x.rows());
-    for (auto& v : boot)
-      v = static_cast<std::size_t>(
-          rng.randint(0, static_cast<std::int64_t>(x.rows()) - 1));
-    Matrix xb = x.take_rows(boot);
-    std::vector<std::size_t> yb(boot.size());
-    for (std::size_t i = 0; i < boot.size(); ++i) yb[i] = y[boot[i]];
+  // One RNG stream per tree, derived serially so the bootstrap and split
+  // draws of tree t are independent of the thread count (bit-identical
+  // forests for any CND_THREADS).
+  std::vector<Rng> tree_rngs;
+  tree_rngs.reserve(cfg_.n_trees);
+  for (std::size_t t = 0; t < cfg_.n_trees; ++t) tree_rngs.push_back(rng.split(t));
 
-    DecisionTree tree({.max_depth = cfg_.max_depth,
-                       .min_samples_split = 2,
-                       .min_samples_leaf = cfg_.min_samples_leaf,
-                       .max_features = mtry});
-    tree.fit(xb, yb, n_classes, rng);
-    trees_.push_back(std::move(tree));
-  }
+  trees_.assign(cfg_.n_trees,
+                DecisionTree({.max_depth = cfg_.max_depth,
+                              .min_samples_split = 2,
+                              .min_samples_leaf = cfg_.min_samples_leaf,
+                              .max_features = mtry}));
+  runtime::parallel_for(0, cfg_.n_trees, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t t = lo; t < hi; ++t) {
+      Rng& trng = tree_rngs[t];
+      // Bootstrap sample.
+      std::vector<std::size_t> boot(x.rows());
+      for (auto& v : boot)
+        v = static_cast<std::size_t>(
+            trng.randint(0, static_cast<std::int64_t>(x.rows()) - 1));
+      Matrix xb = x.take_rows(boot);
+      std::vector<std::size_t> yb(boot.size());
+      for (std::size_t i = 0; i < boot.size(); ++i) yb[i] = y[boot[i]];
+
+      trees_[t].fit(xb, yb, n_classes, trng);
+    }
+  });
 }
 
 Matrix RandomForest::predict_proba(const Matrix& x) const {

@@ -1,0 +1,65 @@
+// parallel_for: deterministic range parallelism over the shared ThreadPool.
+//
+// The single entry point the hot paths use. Work is partitioned into
+// contiguous index chunks; a worker (or the calling thread) executes
+// fn(lo, hi) over each chunk. Because the partition is by index and fn is
+// handed a contiguous range, the per-index arithmetic — including
+// floating-point accumulation order within a row/sample — is exactly the
+// code the serial path runs, so outputs are bit-identical at every thread
+// count (the determinism contract, docs/PARALLELISM.md). With threads() == 1,
+// a range not worth splitting, or when already inside a parallel region,
+// fn(begin, end) is invoked inline: a true serial fallback.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "runtime/thread_pool.hpp"
+
+namespace cnd::runtime {
+
+/// Grain (indices per task) sized so each task carries at least ~`target`
+/// floating-point operations; `cost_per_index` is the approximate flop count
+/// of one index. Doubles as the serial small-problem cutoff: parallel_for
+/// runs ranges of at most one grain inline.
+inline std::size_t grain_for_cost(std::size_t cost_per_index,
+                                  std::size_t target = 32768) {
+  if (cost_per_index == 0) cost_per_index = 1;
+  return std::max<std::size_t>(1, target / cost_per_index);
+}
+
+/// Run fn(lo, hi) over a disjoint cover of [begin, end), in parallel when
+/// profitable. fn must be safe to invoke concurrently on disjoint ranges
+/// (i.e. write only to per-index slots). Exceptions thrown by fn are
+/// rethrown in the caller after all chunks finish. Nested calls (fn itself
+/// calling parallel_for) execute serially inline.
+template <typename Fn>
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain, Fn&& fn) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  if (grain == 0) grain = 1;
+
+  const std::size_t lanes = threads();
+  if (lanes <= 1 || n <= grain || in_parallel_region()) {
+    fn(begin, end);
+    return;
+  }
+
+  // Mild over-decomposition (4 chunks per lane) for load balance; the chunk
+  // size never drops below the grain so tiny tasks are not worth stealing.
+  const std::size_t chunk =
+      std::max(grain, (n + 4 * lanes - 1) / (4 * lanes));
+  const std::size_t n_chunks = (n + chunk - 1) / chunk;
+  if (n_chunks <= 1) {
+    fn(begin, end);
+    return;
+  }
+
+  detail::shared_pool().run(n_chunks, [&](std::size_t c) {
+    const std::size_t lo = begin + c * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    fn(lo, hi);
+  });
+}
+
+}  // namespace cnd::runtime

@@ -1,0 +1,159 @@
+#include "runtime/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+namespace cnd::runtime {
+
+namespace {
+
+thread_local bool t_in_region = false;
+
+/// RAII flag so nested parallel_for calls detect they are already inside a
+/// parallel region and fall back to serial execution.
+struct RegionGuard {
+  bool prev;
+  RegionGuard() : prev(t_in_region) { t_in_region = true; }
+  ~RegionGuard() { t_in_region = prev; }
+};
+
+std::size_t default_threads() {
+  if (const char* env = std::getenv("CND_THREADS")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) return static_cast<std::size_t>(v);
+    // Malformed or zero CND_THREADS falls through to the hardware default
+    // rather than aborting the process.
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? hw : 1;
+}
+
+std::mutex g_config_mutex;
+std::size_t g_threads = 0;  // 0 = not yet initialized
+std::unique_ptr<ThreadPool> g_pool;
+
+}  // namespace
+
+struct ThreadPool::Job {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t n_chunks = 0;
+  std::atomic<std::size_t> next{0};   // next unclaimed chunk
+  std::atomic<std::size_t> done{0};   // finished chunks
+  std::size_t workers_inside = 0;     // guarded by pool mutex_
+  std::exception_ptr error;           // first failure; guarded by pool mutex_
+};
+
+ThreadPool::ThreadPool(std::size_t n_workers) {
+  if (n_workers == 0) n_workers = 1;
+  workers_.reserve(n_workers);
+  for (std::size_t i = 0; i < n_workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::work_on(Job& job) {
+  RegionGuard region;
+  for (;;) {
+    const std::size_t c = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.n_chunks) break;
+    try {
+      (*job.fn)(c);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mutex_);
+      if (!job.error) job.error = std::current_exception();
+    }
+    job.done.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      cv_work_.wait(lk, [&] { return stop_ || (job_ != nullptr && epoch_ != seen_epoch); });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      job = job_;
+      ++job->workers_inside;
+    }
+    work_on(*job);
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      --job->workers_inside;
+      if (job->workers_inside == 0 &&
+          job->done.load(std::memory_order_acquire) == job->n_chunks)
+        cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run(std::size_t n_chunks,
+                     const std::function<void(std::size_t)>& chunk_fn) {
+  if (n_chunks == 0) return;
+  std::lock_guard<std::mutex> serialize(run_mutex_);
+
+  Job job;
+  job.fn = &chunk_fn;
+  job.n_chunks = n_chunks;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    job_ = &job;
+    ++epoch_;
+  }
+  cv_work_.notify_all();
+
+  work_on(job);  // the caller is a lane too
+
+  // Wait until every chunk is done AND every worker has left work_on —
+  // only then is it safe to pop `job` off this stack frame.
+  std::unique_lock<std::mutex> lk(mutex_);
+  cv_done_.wait(lk, [&] {
+    return job.done.load(std::memory_order_acquire) == n_chunks &&
+           job.workers_inside == 0;
+  });
+  job_ = nullptr;
+  lk.unlock();
+
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+std::size_t threads() {
+  std::lock_guard<std::mutex> lk(g_config_mutex);
+  if (g_threads == 0) g_threads = default_threads();
+  return g_threads;
+}
+
+void set_threads(std::size_t n) {
+  std::lock_guard<std::mutex> lk(g_config_mutex);
+  g_threads = n ? n : default_threads();
+  g_pool.reset();  // rebuilt lazily at the new size
+}
+
+bool in_parallel_region() { return t_in_region; }
+
+namespace detail {
+
+ThreadPool& shared_pool() {
+  const std::size_t lanes = threads();
+  std::lock_guard<std::mutex> lk(g_config_mutex);
+  if (!g_pool || g_pool->n_workers() != lanes - 1)
+    g_pool = std::make_unique<ThreadPool>(lanes - 1);
+  return *g_pool;
+}
+
+}  // namespace detail
+
+}  // namespace cnd::runtime

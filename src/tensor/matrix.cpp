@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/parallel_for.hpp"
 #include "tensor/assert.hpp"
 
 namespace cnd {
@@ -99,20 +100,29 @@ Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
 Matrix operator*(Matrix a, double s) { return a *= s; }
 Matrix operator*(double s, Matrix a) { return a *= s; }
 
+// The three matmul variants distribute output *rows* over the runtime pool.
+// Each row's accumulation order over the inner dimension is the same as the
+// serial loop, and rows never share output, so results are bit-identical at
+// any thread count (docs/PARALLELISM.md). grain_for_cost doubles as the
+// small-matrix cutoff: below ~32k flops everything runs inline.
+
 Matrix matmul(const Matrix& a, const Matrix& b) {
   require(a.cols() == b.rows(), "matmul: inner dimension mismatch");
   Matrix c(a.rows(), b.cols());
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  for (std::size_t i = 0; i < m; ++i) {
-    const double* ai = a.data() + i * k;
-    double* ci = c.data() + i * n;
-    for (std::size_t p = 0; p < k; ++p) {
-      const double aip = ai[p];
-      if (aip == 0.0) continue;
-      const double* bp = b.data() + p * n;
-      for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+  runtime::parallel_for(0, m, runtime::grain_for_cost(k * n),
+                        [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const double* ai = a.data() + i * k;
+      double* ci = c.data() + i * n;
+      for (std::size_t p = 0; p < k; ++p) {
+        const double aip = ai[p];
+        if (aip == 0.0) continue;
+        const double* bp = b.data() + p * n;
+        for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -120,15 +130,18 @@ Matrix matmul_bt(const Matrix& a, const Matrix& b) {
   require(a.cols() == b.cols(), "matmul_bt: inner dimension mismatch");
   Matrix c(a.rows(), b.rows());
   const std::size_t k = a.cols();
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* ai = a.data() + i * k;
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      const double* bj = b.data() + j * k;
-      double s = 0.0;
-      for (std::size_t p = 0; p < k; ++p) s += ai[p] * bj[p];
-      c(i, j) = s;
+  runtime::parallel_for(0, a.rows(), runtime::grain_for_cost(b.rows() * k),
+                        [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const double* ai = a.data() + i * k;
+      for (std::size_t j = 0; j < b.rows(); ++j) {
+        const double* bj = b.data() + j * k;
+        double s = 0.0;
+        for (std::size_t p = 0; p < k; ++p) s += ai[p] * bj[p];
+        c(i, j) = s;
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -136,16 +149,20 @@ Matrix matmul_at(const Matrix& a, const Matrix& b) {
   require(a.rows() == b.rows(), "matmul_at: inner dimension mismatch");
   Matrix c(a.cols(), b.cols());
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
-  for (std::size_t p = 0; p < k; ++p) {
-    const double* ap = a.data() + p * m;
-    const double* bp = b.data() + p * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const double api = ap[i];
-      if (api == 0.0) continue;
+  // Output-row (i) blocked so rows can be distributed; per (i, j) the sum
+  // still runs over p ascending, the same order as a p-outer loop.
+  runtime::parallel_for(0, m, runtime::grain_for_cost(k * n),
+                        [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
       double* ci = c.data() + i * n;
-      for (std::size_t j = 0; j < n; ++j) ci[j] += api * bp[j];
+      for (std::size_t p = 0; p < k; ++p) {
+        const double api = a.data()[p * m + i];
+        if (api == 0.0) continue;
+        const double* bp = b.data() + p * n;
+        for (std::size_t j = 0; j < n; ++j) ci[j] += api * bp[j];
+      }
     }
-  }
+  });
   return c;
 }
 

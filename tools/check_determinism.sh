@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Verify the parallel runtime's determinism contract (docs/PARALLELISM.md):
+# the same bench run at CND_THREADS=1 and CND_THREADS=4 must produce
+# byte-identical CSV output.
+#
+# Usage: tools/check_determinism.sh [bench-binary] [bench-args...]
+#   bench-binary  defaults to ${BUILD_DIR:-build}/bench/bench_multiseed
+#   bench-args    default to --scale=0.1
+#
+# Exit 0 when every CSV matches, 1 on any difference.
+set -euo pipefail
+
+BUILD_DIR=${BUILD_DIR:-build}
+BENCH=${1:-${BUILD_DIR}/bench/bench_multiseed}
+shift || true
+if [ "$#" -gt 0 ]; then ARGS=("$@"); else ARGS=(--scale=0.1); fi
+
+if [ ! -x "${BENCH}" ]; then
+  echo "check_determinism: bench binary '${BENCH}' not found or not executable" >&2
+  echo "  (build first: cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j)" >&2
+  exit 1
+fi
+BENCH=$(readlink -f "${BENCH}")
+
+WORK=$(mktemp -d)
+trap 'rm -rf "${WORK}"' EXIT
+
+run_at() {
+  local threads=$1 dir=$2
+  mkdir -p "${dir}"
+  echo "== CND_THREADS=${threads} $(basename "${BENCH}") ${ARGS[*]}"
+  (cd "${dir}" && CND_THREADS=${threads} "${BENCH}" "${ARGS[@]}" > stdout.log)
+}
+
+run_at 1 "${WORK}/t1"
+run_at 4 "${WORK}/t4"
+
+shopt -s nullglob
+csvs=("${WORK}"/t1/*.csv)
+if [ "${#csvs[@]}" -eq 0 ]; then
+  echo "check_determinism: bench wrote no CSV files — nothing to compare" >&2
+  exit 1
+fi
+
+status=0
+for f in "${csvs[@]}"; do
+  name=$(basename "${f}")
+  if diff -q "${WORK}/t1/${name}" "${WORK}/t4/${name}" > /dev/null; then
+    echo "OK   ${name} identical at CND_THREADS=1 and 4"
+  else
+    echo "FAIL ${name} differs between CND_THREADS=1 and 4"
+    diff "${WORK}/t1/${name}" "${WORK}/t4/${name}" | head -10 || true
+    status=1
+  fi
+done
+exit ${status}
