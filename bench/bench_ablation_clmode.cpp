@@ -27,13 +27,13 @@ int main(int argc, char** argv) {
   std::vector<std::string> labels;
 
   {
-    core::CndIdsConfig cfg = bench::paper_cnd_config(opt.seed);
-    core::CndIds det(cfg);
-    const core::RunResult r = core::run_protocol(det, es, {.seed = opt.seed});
+    core::DetectorConfig cfg = bench::paper_detector_config(opt.seed);
+    const core::RunResult r =
+        core::run_detector("CND-IDS", cfg, es, {.seed = opt.seed});
     // Snapshots store one encoder per experience: 2 weight matrices each.
     const std::size_t params =
-        m * (ds.n_features() * cfg.cfe.hidden_dim +
-             cfg.cfe.hidden_dim * cfg.cfe.latent_dim);
+        m * (ds.n_features() * cfg.cnd.cfe.hidden_dim +
+             cfg.cnd.cfe.hidden_dim * cfg.cnd.cfe.latent_dim);
     std::printf("  %-22s %8.4f %10.4f %+10.4f %11zu dbl   <- paper\n",
                 "snapshots (paper)", r.avg(), r.fwd(), r.bwd(), params);
     csv.push_back({r.avg(), r.fwd(), r.bwd(), static_cast<double>(params)});
@@ -41,11 +41,11 @@ int main(int argc, char** argv) {
   }
 
   for (std::size_t cap : {128, 512, 2048}) {
-    core::CndIdsConfig cfg = bench::paper_cnd_config(opt.seed);
-    cfg.cfe.cl_mode = core::ClMode::kReplay;
-    cfg.cfe.replay_capacity = cap;
-    core::CndIds det(cfg);
-    const core::RunResult r = core::run_protocol(det, es, {.seed = opt.seed});
+    core::DetectorConfig cfg = bench::paper_detector_config(opt.seed);
+    cfg.cnd.cfe.cl_mode = core::ClMode::kReplay;
+    cfg.cnd.cfe.replay_capacity = cap;
+    const core::RunResult r =
+        core::run_detector("CND-IDS", cfg, es, {.seed = opt.seed});
     const std::size_t stored = cap * ds.n_features();
     std::printf("  replay cap=%-11zu %8.4f %10.4f %+10.4f %11zu dbl\n", cap,
                 r.avg(), r.fwd(), r.bwd(), stored);
@@ -55,14 +55,14 @@ int main(int argc, char** argv) {
   }
 
   {
-    core::CndIdsConfig cfg = bench::paper_cnd_config(opt.seed);
-    cfg.cfe.cl_mode = core::ClMode::kEwc;
-    core::CndIds det(cfg);
-    const core::RunResult r = core::run_protocol(det, es, {.seed = opt.seed});
+    core::DetectorConfig cfg = bench::paper_detector_config(opt.seed);
+    cfg.cnd.cfe.cl_mode = core::ClMode::kEwc;
+    const core::RunResult r =
+        core::run_detector("CND-IDS", cfg, es, {.seed = opt.seed});
     // EWC stores one Fisher diagonal + one anchor (2x the parameter count).
     const std::size_t params =
-        2 * (ds.n_features() * cfg.cfe.hidden_dim +
-             cfg.cfe.hidden_dim * cfg.cfe.latent_dim) * 2;
+        2 * (ds.n_features() * cfg.cnd.cfe.hidden_dim +
+             cfg.cnd.cfe.hidden_dim * cfg.cnd.cfe.latent_dim) * 2;
     std::printf("  %-22s %8.4f %10.4f %+10.4f %11zu dbl\n", "EWC (online)",
                 r.avg(), r.fwd(), r.bwd(), params);
     csv.push_back({r.avg(), r.fwd(), r.bwd(), static_cast<double>(params)});

@@ -24,13 +24,13 @@ int main(int argc, char** argv) {
   std::vector<std::vector<double>> csv;
   for (double lr : {0.0, 0.1, 0.5}) {
     for (double lcl : {0.0, 0.1, 0.5}) {
-      core::CndIdsConfig cfg = bench::paper_cnd_config(opt.seed);
-      cfg.cfe.lambda_r = lr;
-      cfg.cfe.lambda_cl = lcl;
-      cfg.cfe.use_r = lr > 0.0;
-      cfg.cfe.use_cl = lcl > 0.0;
-      core::CndIds det(cfg);
-      const core::RunResult r = core::run_protocol(det, es, {.seed = opt.seed});
+      core::DetectorConfig cfg = bench::paper_detector_config(opt.seed);
+      cfg.cnd.cfe.lambda_r = lr;
+      cfg.cnd.cfe.lambda_cl = lcl;
+      cfg.cnd.cfe.use_r = lr > 0.0;
+      cfg.cnd.cfe.use_cl = lcl > 0.0;
+      const core::RunResult r =
+          core::run_detector("CND-IDS", cfg, es, {.seed = opt.seed});
       std::printf("  %-8.2f %-8.2f %8.4f %10.4f %+10.4f%s\n", lr, lcl, r.avg(),
                   r.fwd(), r.bwd(),
                   (lr == 0.1 && lcl == 0.1) ? "   <- paper setting" : "");

@@ -23,10 +23,10 @@ int main(int argc, char** argv) {
 
   std::vector<std::vector<double>> csv;
   for (std::size_t latent : {16, 32, 64, 128, 256}) {
-    core::CndIdsConfig cfg = bench::paper_cnd_config(opt.seed);
-    cfg.cfe.latent_dim = latent;
-    core::CndIds det(cfg);
-    const core::RunResult r = core::run_protocol(det, es, {.seed = opt.seed});
+    core::DetectorConfig cfg = bench::paper_detector_config(opt.seed);
+    cfg.cnd.cfe.latent_dim = latent;
+    const core::RunResult r =
+        core::run_detector("CND-IDS", cfg, es, {.seed = opt.seed});
     std::printf("  %-8zu %8.4f %10.4f %+10.4f%s\n", latent, r.avg(), r.fwd(),
                 r.bwd(), latent == 256 ? "   <- paper architecture" : "");
     std::fflush(stdout);

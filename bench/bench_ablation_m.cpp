@@ -23,8 +23,8 @@ int main(int argc, char** argv) {
     data::Dataset ds = data::make_unsw_nb15(opt.seed, opt.size_scale);
     const data::ExperienceSet es = data::prepare_experiences(
         ds, {.n_experiences = m, .seed = opt.seed});
-    core::CndIds det(bench::paper_cnd_config(opt.seed));
-    const core::RunResult r = core::run_protocol(det, es, {.seed = opt.seed});
+    const core::RunResult r =
+        bench::run_detector("CND-IDS", es, opt.seed, {.seed = opt.seed});
     std::printf("  %-4zu %8.4f %10.4f %+10.4f\n", m, r.avg(), r.fwd(), r.bwd());
     std::fflush(stdout);
     csv.push_back({static_cast<double>(m), r.avg(), r.fwd(), r.bwd()});

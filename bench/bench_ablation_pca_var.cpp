@@ -22,10 +22,11 @@ int main(int argc, char** argv) {
 
   std::vector<std::vector<double>> csv;
   for (double ev : {0.80, 0.90, 0.95, 0.99}) {
-    core::CndIdsConfig cfg = bench::paper_cnd_config(opt.seed);
-    cfg.pca.explained_variance = ev;
-    core::CndIds det(cfg);
-    const core::RunResult r = core::run_protocol(det, es, {.seed = opt.seed});
+    core::DetectorConfig cfg = bench::paper_detector_config(opt.seed);
+    cfg.cnd.pca.explained_variance = ev;
+    const auto dp = core::make_detector("CND-IDS", cfg);
+    const core::RunResult r = core::run_protocol(*dp, es, {.seed = opt.seed});
+    const auto& det = dynamic_cast<const core::CndIds&>(*dp);
     std::printf("  %-8.2f %8.4f %10.4f %12zu%s\n", ev, r.avg(), r.fwd(),
                 det.pca().n_components(),
                 ev == 0.95 ? "   <- paper setting" : "");

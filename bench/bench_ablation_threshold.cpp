@@ -25,8 +25,9 @@ int main(int argc, char** argv) {
 
   // One CND-IDS pass collecting raw scores per (train, test) pair on the
   // diagonal, then apply each thresholding rule offline.
-  core::CndIds det(bench::paper_cnd_config(opt.seed));
-  Rng rng(opt.seed);
+  const auto detp = core::make_detector("CND-IDS",
+                                        bench::paper_detector_config(opt.seed));
+  core::ContinualDetector& det = *detp;
   Matrix seed_x;
   std::vector<int> seed_y;
   det.setup(core::SetupContext{es.n_clean, seed_x, seed_y});

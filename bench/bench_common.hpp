@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -15,13 +17,12 @@
 #include "baselines/adcn.hpp"
 #include "baselines/lwf.hpp"
 #include "core/cnd_ids.hpp"
+#include "core/detector_factory.hpp"
 #include "core/experience_runner.hpp"
 #include "data/experiences.hpp"
 #include "data/synth.hpp"
-#include "ml/deep_isolation_forest.hpp"
-#include "ml/lof.hpp"
-#include "ml/ocsvm.hpp"
-#include "ml/pca.hpp"
+#include "obs/event_log.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/parallel_for.hpp"
 
 namespace cnd::bench {
@@ -36,6 +37,11 @@ struct BenchOptions {
   /// Runtime lanes; 0 = leave the runtime default (CND_THREADS env or
   /// hardware concurrency). See docs/PARALLELISM.md.
   std::size_t threads = 0;
+  /// JSONL telemetry path; empty = observability off (the default, and
+  /// free: no clocks are read and no events are built). Timings in this
+  /// stream are wall-clock and machine-dependent — result CSVs stay
+  /// bit-identical with or without it (docs/OBSERVABILITY.md).
+  std::string metrics_out;
 };
 
 namespace detail {
@@ -73,11 +79,43 @@ inline std::uint64_t parse_uint_flag(const std::string& arg, std::size_t prefix_
 
 }  // namespace detail
 
-/// Parse "--scale=0.25 --seed=7 --threads=4 --verbose" style argv (used by
-/// all benches). Malformed values throw std::invalid_argument instead of
-/// silently defaulting; unknown arguments are ignored (google-benchmark
-/// binaries forward their own flags). A --threads value is applied to the
-/// parallel runtime immediately.
+/// Flush the full metrics registry as one `metrics_snapshot` event line and
+/// flush the sink. Installed via std::atexit by enable_metrics_output so
+/// every bench exit path (including std::exit from google-benchmark) ends
+/// the JSONL stream with a complete counter/gauge/histogram dump.
+inline void write_metrics_snapshot() {
+  if (!obs::events().enabled()) return;
+  std::string line = "{\"event\":\"metrics_snapshot\",";
+  line += obs::metrics().to_json_fields();
+  line += '}';
+  obs::events().emit_raw(line);
+  obs::events().flush();
+}
+
+/// Turn observability on and route the event stream to `path` (truncated).
+/// Emits a `run_start` record so each JSONL file is self-describing, and
+/// registers the atexit snapshot writer exactly once per process.
+inline void enable_metrics_output(const std::string& path, const BenchOptions& o) {
+  obs::events().set_sink(std::make_shared<obs::FileSink>(path));
+  obs::set_enabled(true);
+  obs::events().emit("run_start", {{"seed", o.seed},
+                                   {"scale", o.size_scale},
+                                   {"threads", runtime::threads()}});
+  static const bool registered = [] {
+    std::atexit(write_metrics_snapshot);
+    return true;
+  }();
+  (void)registered;
+}
+
+/// Parse "--scale=0.25 --seed=7 --threads=4 --metrics-out=run.jsonl
+/// --verbose" style argv (used by all benches). --metrics-out also accepts
+/// a separate-argument value ("--metrics-out run.jsonl"). Malformed values
+/// throw std::invalid_argument instead of silently defaulting; unknown
+/// arguments are ignored (google-benchmark binaries forward their own
+/// flags). A --threads value is applied to the parallel runtime
+/// immediately; a --metrics-out value turns observability on and attaches
+/// the JSONL file sink.
 inline BenchOptions parse_options(int argc, char** argv) {
   BenchOptions o;
   for (int i = 1; i < argc; ++i) {
@@ -93,22 +131,38 @@ inline BenchOptions parse_options(int argc, char** argv) {
       if (o.threads == 0)
         throw std::invalid_argument("bench: --threads must be >= 1");
     }
+    if (a.rfind("--metrics-out=", 0) == 0) {
+      o.metrics_out = a.substr(14);
+      if (o.metrics_out.empty())
+        throw std::invalid_argument("bench: --metrics-out needs a path");
+    }
+    if (a == "--metrics-out") {
+      if (i + 1 >= argc)
+        throw std::invalid_argument("bench: --metrics-out needs a path");
+      o.metrics_out = argv[++i];
+    }
     if (a == "--verbose") o.verbose = true;
   }
   if (o.threads > 0) runtime::set_threads(o.threads);
+  if (!o.metrics_out.empty()) enable_metrics_output(o.metrics_out, o);
   return o;
 }
 
-/// Remove the harness flags (--scale/--seed/--threads/--verbose) from argv
-/// in place, updating argc. The google-benchmark binaries call this between
-/// parse_options and benchmark::Initialize — google-benchmark aborts on
-/// flags it does not recognize.
+/// Remove the harness flags (--scale/--seed/--threads/--metrics-out/
+/// --verbose) from argv in place, updating argc. The google-benchmark
+/// binaries call this between parse_options and benchmark::Initialize —
+/// google-benchmark aborts on flags it does not recognize.
 inline void strip_harness_flags(int& argc, char** argv) {
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
+    if (a == "--metrics-out") {  // space form consumes its value too
+      if (i + 1 < argc) ++i;
+      continue;
+    }
     const bool ours = a.rfind("--scale=", 0) == 0 || a.rfind("--seed=", 0) == 0 ||
-                      a.rfind("--threads=", 0) == 0 || a == "--verbose";
+                      a.rfind("--threads=", 0) == 0 ||
+                      a.rfind("--metrics-out=", 0) == 0 || a == "--verbose";
     if (!ours) argv[out++] = argv[i];
   }
   argc = out;
@@ -177,46 +231,38 @@ inline data::ExperienceSet make_experience_set(const data::Dataset& ds,
            .train_frac = 0.70, .standardize = true, .seed = seed});
 }
 
-// ---- Static ND baselines (fit once on N_c, never updated) ------------------
+// ---- Factory-based detector runs -------------------------------------------
+//
+// Every detector-constructing bench goes through the core detector registry
+// (core/detector_factory.hpp), so the registry's names are the single
+// source of truth for the detector identifiers in result CSVs. The static
+// baselines keep their pre-factory semantics: PCA/DIF (and the extension
+// zoo) fit once on the clean-normal holdout; LOF/OC-SVM — which, as the
+// paper notes, "cannot be retrained on unlabeled contaminated data" — fit
+// once on the first observed stream per their use in Faber et al. [15].
+// DIF keeps the 24x6 ensemble (down from the reference 50x6, which at our
+// reference-set size makes DIF stronger than the paper reports — see
+// EXPERIMENTS.md).
 
-inline core::RunResult run_static_pca(const data::ExperienceSet& es) {
-  ml::Pca pca({.explained_variance = 0.95});
-  pca.fit(es.n_clean);
-  return core::run_static_scorer(
-      "PCA", [&](const Matrix& x) { return pca.score(x); }, es);
+/// The paper benches' full detector configuration: paper hyperparameters
+/// for the continual methods, the EXPERIMENTS.md settings for the static
+/// baselines (already the DetectorConfig defaults), one seed throughout.
+inline core::DetectorConfig paper_detector_config(std::uint64_t seed) {
+  core::DetectorConfig c;
+  c.seed = seed;
+  c.cnd = paper_cnd_config(seed);
+  c.adcn = paper_adcn_config(seed);
+  c.lwf = paper_lwf_config(seed);
+  return c;
 }
 
-// DIF is given the clean-normal holdout and a 24x6 ensemble (down from the
-// reference 50x6, which at our reference-set size makes DIF stronger than
-// the paper reports — see EXPERIMENTS.md). This keeps DIF in the "two best
-// static baselines" tier of Fig. 4 without letting it pass CND-IDS.
-inline core::RunResult run_static_dif(const data::ExperienceSet& es,
-                                      std::uint64_t seed) {
-  ml::DeepIsolationForest dif({.n_representations = 24, .trees_per_repr = 6});
-  Rng rng(seed);
-  dif.fit(es.n_clean, rng);
-  return core::run_static_scorer(
-      "DIF", [&](const Matrix& x) { return dif.score(x); }, es);
-}
-
-// LOF and OC-SVM are *outlier* detectors: following their use in Faber et
-// al. [15] they model the observed (unlabeled, contaminated) stream of the
-// first deployment window — and, as the paper notes, "cannot be retrained on
-// unlabeled contaminated data", so they stay frozen afterwards. PCA [23] and
-// DIF [33] are *novelty* detectors fit on the clean-normal holdout.
-
-inline core::RunResult run_static_lof(const data::ExperienceSet& es) {
-  ml::Lof lof({.k = 20});
-  lof.fit(es.experiences.front().x_train);
-  return core::run_static_scorer(
-      "LOF", [&](const Matrix& x) { return lof.score(x); }, es);
-}
-
-inline core::RunResult run_static_ocsvm(const data::ExperienceSet& es) {
-  ml::OcSvm svm({.nu = 0.05});
-  svm.fit(es.experiences.front().x_train);
-  return core::run_static_scorer(
-      "OC-SVM", [&](const Matrix& x) { return svm.score(x); }, es);
+/// Build registry detector `name` under the paper config and drive it
+/// through the evaluation protocol.
+inline core::RunResult run_detector(const std::string& name,
+                                    const data::ExperienceSet& es,
+                                    std::uint64_t seed,
+                                    const core::RunConfig& rc = {}) {
+  return core::run_detector(name, paper_detector_config(seed), es, rc);
 }
 
 /// Pretty row printer shared by the benches.

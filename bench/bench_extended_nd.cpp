@@ -9,11 +9,6 @@
 
 #include "bench_common.hpp"
 #include "data/csv.hpp"
-#include "ml/ae_detector.hpp"
-#include "ml/gmm.hpp"
-#include "ml/hbos.hpp"
-#include "ml/knn_detector.hpp"
-#include "ml/mahalanobis.hpp"
 
 int main(int argc, char** argv) {
   using namespace cnd;
@@ -28,48 +23,13 @@ int main(int argc, char** argv) {
 
   for (data::Dataset& ds : data::make_all_paper_datasets(opt.seed, opt.size_scale)) {
     const data::ExperienceSet es = bench::make_experience_set(ds, opt.seed);
-    Rng rng(opt.seed);
 
-    rows["LOF"].push_back(bench::run_static_lof(es).f1.avg_all());
-    rows["OC-SVM"].push_back(bench::run_static_ocsvm(es).f1.avg_all());
-    rows["PCA"].push_back(bench::run_static_pca(es).f1.avg_all());
-    rows["DIF"].push_back(bench::run_static_dif(es, opt.seed).f1.avg_all());
-
-    ml::Gmm gmm({.n_components = 4});
-    gmm.fit(es.n_clean, rng);
-    rows["GMM"].push_back(core::run_static_scorer(
-                              "GMM", [&](const Matrix& x) { return gmm.score(x); }, es)
-                              .f1.avg_all());
-
-    ml::MahalanobisDetector maha;
-    maha.fit(es.n_clean);
-    rows["Maha"].push_back(
-        core::run_static_scorer(
-            "Maha", [&](const Matrix& x) { return maha.score(x); }, es)
-            .f1.avg_all());
-
-    ml::KnnDetector knn({.k = 10});
-    knn.fit(es.n_clean);
-    rows["kNN"].push_back(core::run_static_scorer(
-                              "kNN", [&](const Matrix& x) { return knn.score(x); }, es)
-                              .f1.avg_all());
-
-    ml::Hbos hbos;
-    hbos.fit(es.n_clean);
-    rows["HBOS"].push_back(
-        core::run_static_scorer(
-            "HBOS", [&](const Matrix& x) { return hbos.score(x); }, es)
-            .f1.avg_all());
-
-    ml::AeDetector ae({.hidden_dim = 128, .latent_dim = 16, .epochs = 20},
-                      opt.seed);
-    ae.fit(es.n_clean);
-    rows["AE"].push_back(core::run_static_scorer(
-                             "AE", [&](const Matrix& x) { return ae.score(x); }, es)
-                             .f1.avg_all());
-
-    core::CndIds cnd(bench::paper_cnd_config(opt.seed));
-    rows["CND-IDS"].push_back(core::run_protocol(cnd, es, {.seed = opt.seed}).avg());
+    for (const auto& m : methods) {
+      if (m == "CND-IDS") continue;
+      rows[m].push_back(bench::run_detector(m, es, opt.seed).f1.avg_all());
+    }
+    rows["CND-IDS"].push_back(
+        bench::run_detector("CND-IDS", es, opt.seed, {.seed = opt.seed}).avg());
 
     std::printf("%s done\n", ds.name.c_str());
     std::fflush(stdout);

@@ -18,12 +18,12 @@ int main(int argc, char** argv) {
   data::Dataset ds = data::make_x_iiotid(opt.seed, opt.size_scale);
   const data::ExperienceSet es = bench::make_experience_set(ds, opt.seed);
 
-  core::CndIds det(bench::paper_cnd_config(opt.seed));
-  Rng rng(opt.seed);
+  const auto det = core::make_detector("CND-IDS",
+                                       bench::paper_detector_config(opt.seed));
   Matrix seed_x;
   std::vector<int> seed_y;
-  det.setup(core::SetupContext{es.n_clean, seed_x, seed_y});
-  for (const auto& e : es.experiences) det.observe_experience(e.x_train);
+  det->setup(core::SetupContext{es.n_clean, seed_x, seed_y});
+  for (const auto& e : es.experiences) det->observe_experience(e.x_train);
 
   // Pool every experience's test set for the family view.
   Matrix x_all;
@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
     fam_all.insert(fam_all.end(), e.test_class.begin(), e.test_class.end());
   }
 
-  const std::vector<double> scores = det.score(x_all);
+  const std::vector<double> scores = det->score(x_all);
   const auto best = eval::best_f_threshold(scores, y_all);
   const eval::FamilyReport rep =
       eval::family_breakdown(scores, y_all, fam_all, es.class_names, best.threshold);

@@ -29,14 +29,10 @@ int main(int argc, char** argv) {
   for (data::Dataset& ds : data::make_all_paper_datasets(opt.seed, opt.size_scale)) {
     const data::ExperienceSet es = bench::make_experience_set(ds, opt.seed);
 
-    baselines::Adcn adcn(bench::paper_adcn_config(opt.seed));
-    baselines::Lwf lwf(bench::paper_lwf_config(opt.seed));
-    core::CndIds cnd(bench::paper_cnd_config(opt.seed));
-
-    Row r{ds.name,
-          core::run_protocol(adcn, es, {.seed = opt.seed, .verbose = opt.verbose}),
-          core::run_protocol(lwf, es, {.seed = opt.seed, .verbose = opt.verbose}),
-          core::run_protocol(cnd, es, {.seed = opt.seed, .verbose = opt.verbose})};
+    const core::RunConfig rc{.seed = opt.seed, .verbose = opt.verbose};
+    Row r{ds.name, bench::run_detector("ADCN", es, opt.seed, rc),
+          bench::run_detector("LwF", es, opt.seed, rc),
+          bench::run_detector("CND-IDS", es, opt.seed, rc)};
 
     std::printf("%s:\n", ds.name.c_str());
     std::printf("  %-10s %8s %10s %10s\n", "method", "AVG", "FwdTrans", "BwdTrans");

@@ -25,14 +25,12 @@ int main(int argc, char** argv) {
   for (data::Dataset& ds : data::make_all_paper_datasets(opt.seed, opt.size_scale)) {
     const data::ExperienceSet es = bench::make_experience_set(ds, opt.seed);
 
-    core::RunResult lof = bench::run_static_lof(es);
-    core::RunResult svm = bench::run_static_ocsvm(es);
-    core::RunResult pca = bench::run_static_pca(es);
-    core::RunResult dif = bench::run_static_dif(es, opt.seed);
-
-    core::CndIds cnd(bench::paper_cnd_config(opt.seed));
-    core::RunResult cres =
-        core::run_protocol(cnd, es, {.seed = opt.seed, .verbose = opt.verbose});
+    core::RunResult lof = bench::run_detector("LOF", es, opt.seed);
+    core::RunResult svm = bench::run_detector("OC-SVM", es, opt.seed);
+    core::RunResult pca = bench::run_detector("PCA", es, opt.seed);
+    core::RunResult dif = bench::run_detector("DIF", es, opt.seed);
+    core::RunResult cres = bench::run_detector(
+        "CND-IDS", es, opt.seed, {.seed = opt.seed, .verbose = opt.verbose});
 
     // Fig. 4 compares the static methods' average F1 over all experiences
     // with the AVG (current-experience) metric of CND-IDS.

@@ -25,10 +25,10 @@ int main(int argc, char** argv) {
   for (data::Dataset& ds : data::make_all_paper_datasets(opt.seed, opt.size_scale)) {
     const data::ExperienceSet es = bench::make_experience_set(ds, opt.seed);
 
-    core::RunResult dif = bench::run_static_dif(es, opt.seed);
-    core::RunResult pca = bench::run_static_pca(es);
-    core::CndIds cnd(bench::paper_cnd_config(opt.seed));
-    core::RunResult cres = core::run_protocol(cnd, es, {.seed = opt.seed});
+    core::RunResult dif = bench::run_detector("DIF", es, opt.seed);
+    core::RunResult pca = bench::run_detector("PCA", es, opt.seed);
+    core::RunResult cres =
+        bench::run_detector("CND-IDS", es, opt.seed, {.seed = opt.seed});
 
     rows["DIF"].push_back(dif.pr_auc.avg_all());
     rows["PCA"].push_back(pca.pr_auc.avg_all());

@@ -44,10 +44,10 @@ int main(int argc, char** argv) {
     data::Dataset ds = factories[d](seed, opt.size_scale);
     if (seed == seeds.front()) dataset_names[d] = ds.name;
     const data::ExperienceSet es = bench::make_experience_set(ds, seed);
-    cell_f1[job][0] = bench::run_static_pca(es).f1.avg_all();
-    cell_f1[job][1] = bench::run_static_dif(es, seed).f1.avg_all();
-    core::CndIds det(bench::paper_cnd_config(seed));
-    cell_f1[job][2] = core::run_protocol(det, es, {.seed = seed}).avg();
+    cell_f1[job][0] = bench::run_detector("PCA", es, seed).f1.avg_all();
+    cell_f1[job][1] = bench::run_detector("DIF", es, seed).f1.avg_all();
+    cell_f1[job][2] =
+        bench::run_detector("CND-IDS", es, seed, {.seed = seed}).avg();
   });
   std::printf("%zu seed x dataset cells done\n", n_jobs);
 

@@ -42,9 +42,9 @@ int main(int argc, char** argv) {
                      ? data::contaminate(n_clean_orig, attack_pool, frac, rng)
                      : n_clean_orig;
 
-    const core::RunResult pca = bench::run_static_pca(es);
-    core::CndIds det(bench::paper_cnd_config(opt.seed));
-    const core::RunResult cnd = core::run_protocol(det, es, {.seed = opt.seed});
+    const core::RunResult pca = bench::run_detector("PCA", es, opt.seed);
+    const core::RunResult cnd =
+        bench::run_detector("CND-IDS", es, opt.seed, {.seed = opt.seed});
 
     std::printf("  %-14.2f %12.4f %12.4f\n", frac, pca.f1.avg_all(), cnd.avg());
     std::fflush(stdout);

@@ -32,19 +32,20 @@ int main(int argc, char** argv) {
 
     // (a) Windowed: adapt at each boundary, MAD threshold on the window.
     {
-      core::CndIds det(bench::paper_cnd_config(opt.seed));
+      const auto det = core::make_detector(
+          "CND-IDS", bench::paper_detector_config(opt.seed));
       Matrix seed_x;
       std::vector<int> seed_y;
-      det.setup(core::SetupContext{es.n_clean, seed_x, seed_y});
+      det->setup(core::SetupContext{es.n_clean, seed_x, seed_y});
       eval::Confusion total;
       for (const auto& e : es.experiences) {
-        det.observe_experience(e.x_train);
+        det->observe_experience(e.x_train);
         // Label-free POT threshold from the vouched clean window under the
         // current encoder, at a 1% target false-alarm rate (the live stream
         // may be ~50% attacks — never calibrate on it).
         const double tau = eval::pot_threshold(
-            det.score(es.n_clean), {.tail_quantile = 0.9, .target_prob = 0.01});
-        const auto v = eval::apply_threshold(det.score(e.x_test), tau);
+            det->score(es.n_clean), {.tail_quantile = 0.9, .target_prob = 0.01});
+        const auto v = eval::apply_threshold(det->score(e.x_test), tau);
         const auto c = eval::confusion(v, e.y_test);
         total.tp += c.tp;
         total.fp += c.fp;

@@ -43,12 +43,12 @@ int main(int argc, char** argv) {
   std::vector<std::array<double, 3>> cell(datasets.size() * 4);
   bench::parallel_jobs(cell.size(), [&](std::size_t job) {
     const std::size_t d = job / 4, v = job % 4;
-    core::CndIdsConfig cfg = bench::paper_cnd_config(opt.seed);
-    cfg.cfe.use_cs = variants[v].cs;
-    cfg.cfe.use_r = variants[v].r;
-    cfg.cfe.use_cl = variants[v].cl;
-    core::CndIds det(cfg);
-    const core::RunResult res = core::run_protocol(det, sets[d], {.seed = opt.seed});
+    core::DetectorConfig cfg = bench::paper_detector_config(opt.seed);
+    cfg.cnd.cfe.use_cs = variants[v].cs;
+    cfg.cnd.cfe.use_r = variants[v].r;
+    cfg.cnd.cfe.use_cl = variants[v].cl;
+    const core::RunResult res =
+        core::run_detector("CND-IDS", cfg, sets[d], {.seed = opt.seed});
     cell[job] = {res.avg(), res.bwd(), res.fwd()};
   });
 

@@ -20,20 +20,24 @@ using namespace cnd;
 /// the committed numbers.
 bench::BenchOptions g_opt;
 
-/// Everything fit once, shared across timing runs.
+/// Everything fit once, shared across timing runs. All five detectors come
+/// from the core registry, so this bench times exactly what the factory
+/// builds (DIF/PCA are the frozen wrappers, fit on N_c at setup()).
 struct Fixture {
   data::ExperienceSet es;
   Matrix batch;                 // the timed scoring batch
-  core::CndIds cnd{bench::paper_cnd_config(g_opt.seed)};
-  baselines::Adcn adcn{bench::paper_adcn_config(g_opt.seed)};
-  baselines::Lwf lwf{bench::paper_lwf_config(g_opt.seed)};
-  ml::DeepIsolationForest dif{{.n_representations = 24, .trees_per_repr = 6}};
-  ml::Pca pca{{.explained_variance = 0.95}};
+  std::unique_ptr<core::ContinualDetector> cnd, adcn, lwf, dif, pca;
 
   Fixture() : es(make_es()) {
     batch = es.experiences.back().x_test;
 
-    Rng rng(g_opt.seed);
+    const core::DetectorConfig dc = bench::paper_detector_config(g_opt.seed);
+    cnd = core::make_detector("CND-IDS", dc);
+    adcn = core::make_detector("ADCN", dc);
+    lwf = core::make_detector("LwF", dc);
+    dif = core::make_detector("DIF", dc);
+    pca = core::make_detector("PCA", dc);
+
     Matrix seed_x;
     std::vector<int> seed_y;
     // Build the baselines' labeled seed exactly as the runner does.
@@ -50,14 +54,10 @@ struct Fixture {
     for (std::size_t i = 0; i < attacks.size(); ++i) seed_y.push_back(1);
 
     const core::SetupContext ctx{es.n_clean, seed_x, seed_y};
-    cnd.setup(ctx);
-    adcn.setup(ctx);
-    lwf.setup(ctx);
-    cnd.observe_experience(e0.x_train);
-    adcn.observe_experience(e0.x_train);
-    lwf.observe_experience(e0.x_train);
-    dif.fit(es.n_clean, rng);
-    pca.fit(es.n_clean);
+    for (auto* d : {&cnd, &adcn, &lwf, &dif, &pca}) (*d)->setup(ctx);
+    cnd->observe_experience(e0.x_train);
+    adcn->observe_experience(e0.x_train);
+    lwf->observe_experience(e0.x_train);
   }
 
   static data::ExperienceSet make_es() {
@@ -81,35 +81,35 @@ void report_per_sample(benchmark::State& state, std::size_t batch_rows) {
 
 void BM_CndIds(benchmark::State& state) {
   auto& f = Fixture::instance();
-  for (auto _ : state) benchmark::DoNotOptimize(f.cnd.score(f.batch));
+  for (auto _ : state) benchmark::DoNotOptimize(f.cnd->score(f.batch));
   report_per_sample(state, f.batch.rows());
 }
 BENCHMARK(BM_CndIds)->Unit(benchmark::kMillisecond);
 
 void BM_Adcn(benchmark::State& state) {
   auto& f = Fixture::instance();
-  for (auto _ : state) benchmark::DoNotOptimize(f.adcn.predict(f.batch));
+  for (auto _ : state) benchmark::DoNotOptimize(f.adcn->predict(f.batch));
   report_per_sample(state, f.batch.rows());
 }
 BENCHMARK(BM_Adcn)->Unit(benchmark::kMillisecond);
 
 void BM_Lwf(benchmark::State& state) {
   auto& f = Fixture::instance();
-  for (auto _ : state) benchmark::DoNotOptimize(f.lwf.predict(f.batch));
+  for (auto _ : state) benchmark::DoNotOptimize(f.lwf->predict(f.batch));
   report_per_sample(state, f.batch.rows());
 }
 BENCHMARK(BM_Lwf)->Unit(benchmark::kMillisecond);
 
 void BM_Dif(benchmark::State& state) {
   auto& f = Fixture::instance();
-  for (auto _ : state) benchmark::DoNotOptimize(f.dif.score(f.batch));
+  for (auto _ : state) benchmark::DoNotOptimize(f.dif->score(f.batch));
   report_per_sample(state, f.batch.rows());
 }
 BENCHMARK(BM_Dif)->Unit(benchmark::kMillisecond);
 
 void BM_Pca(benchmark::State& state) {
   auto& f = Fixture::instance();
-  for (auto _ : state) benchmark::DoNotOptimize(f.pca.score(f.batch));
+  for (auto _ : state) benchmark::DoNotOptimize(f.pca->score(f.batch));
   report_per_sample(state, f.batch.rows());
 }
 BENCHMARK(BM_Pca)->Unit(benchmark::kMillisecond);

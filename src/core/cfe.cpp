@@ -4,6 +4,8 @@
 
 #include "core/cluster_separation.hpp"
 #include "nn/losses.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scoped_timer.hpp"
 #include "tensor/assert.hpp"
 
 namespace cnd::core {
@@ -38,11 +40,14 @@ CfeFitStats Cfe::fit_experience(const Matrix& x_train, const Matrix& n_clean) {
   // Pseudo-labels for L_CS are computed once per experience in input space.
   std::vector<int> pseudo;
   if (cfg_.use_cs) {
+    // Covers k-means and the elbow sweep when kmeans_k == 0.
+    obs::ScopedTimer timer(obs::metrics(), "cnd.pseudo_label_ms");
     PseudoLabels pl =
         cluster_separation_labels(x_train, n_clean, cfg_.kmeans_k, rng_);
     pseudo = std::move(pl.labels);
     stats.pseudo_k = pl.k;
     stats.pseudo_anomalous = pl.n_anomalous;
+    obs::metrics().gauge("cnd.pseudo_k").set(static_cast<double>(pl.k));
   }
 
   for (std::size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {

@@ -1,5 +1,7 @@
 #include "core/cnd_ids.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/scoped_timer.hpp"
 #include "tensor/assert.hpp"
 
 namespace cnd::core {
@@ -8,8 +10,35 @@ std::vector<int> ContinualDetector::predict(const Matrix&) {
   throw std::logic_error(name() + ": predict() not implemented (score-based detector)");
 }
 
+void CndIdsConfig::validate() const {
+  require(cfe.hidden_dim > 0, "CndIdsConfig: cfe.hidden_dim must be > 0");
+  require(cfe.latent_dim > 0, "CndIdsConfig: cfe.latent_dim must be > 0");
+  require(cfe.dropout >= 0.0 && cfe.dropout < 1.0,
+          "CndIdsConfig: cfe.dropout out of [0,1)");
+  require(cfe.lambda_r >= 0.0 && cfe.lambda_r <= 1.0,
+          "CndIdsConfig: cfe.lambda_r out of [0,1]");
+  require(cfe.lambda_cl >= 0.0 && cfe.lambda_cl <= 1.0,
+          "CndIdsConfig: cfe.lambda_cl out of [0,1]");
+  require(cfe.margin > 0.0, "CndIdsConfig: cfe.margin must be > 0");
+  require(cfe.epochs > 0, "CndIdsConfig: cfe.epochs must be > 0");
+  require(cfe.batch_size > 0, "CndIdsConfig: cfe.batch_size must be > 0");
+  require(cfe.lr > 0.0, "CndIdsConfig: cfe.lr must be > 0");
+  require(cfe.triplets_per_batch > 0,
+          "CndIdsConfig: cfe.triplets_per_batch must be > 0");
+  require(cfe.replay_capacity > 0,
+          "CndIdsConfig: cfe.replay_capacity must be > 0");
+  require(cfe.replay_per_batch > 0,
+          "CndIdsConfig: cfe.replay_per_batch must be > 0");
+  require(cfe.ewc_strength >= 0.0,
+          "CndIdsConfig: cfe.ewc_strength must be >= 0");
+  require(cfe.ewc_decay >= 0.0 && cfe.ewc_decay <= 1.0,
+          "CndIdsConfig: cfe.ewc_decay out of [0,1]");
+  require(pca.explained_variance > 0.0 && pca.explained_variance <= 1.0,
+          "CndIdsConfig: pca.explained_variance out of (0,1]");
+}
+
 CndIds::CndIds(const CndIdsConfig& cfg)
-    : cfg_(cfg), cfe_(cfg.cfe, cfg.seed), pca_(cfg.pca) {}
+    : cfg_((cfg.validate(), cfg)), cfe_(cfg.cfe, cfg.seed), pca_(cfg.pca) {}
 
 std::string CndIds::name() const {
   std::string n = "CND-IDS";
@@ -30,13 +59,25 @@ void CndIds::setup(const SetupContext& ctx) {
 
 void CndIds::observe_experience(const Matrix& x_train) {
   require(!n_clean_.empty(), "CndIds::observe_experience: setup() not called");
-  last_stats_ = cfe_.fit_experience(x_train, n_clean_);
-  pca_ = ml::Pca(cfg_.pca);
-  pca_.fit(cfe_.encode(n_clean_));
+  obs::MetricsRegistry& m = obs::metrics();
+  {
+    obs::ScopedTimer timer(m, "cnd.cfe_fit_ms");
+    last_stats_ = cfe_.fit_experience(x_train, n_clean_);
+  }
+  {
+    obs::ScopedTimer timer(m, "cnd.pca_fit_ms");
+    pca_ = ml::Pca(cfg_.pca);
+    pca_.fit(cfe_.encode(n_clean_));
+  }
+  m.counter("cnd.experiences_total").add(1);
+  m.gauge("cnd.cfe_snapshots").set(static_cast<double>(cfe_.n_snapshots()));
+  m.gauge("cnd.replay_rows").set(static_cast<double>(cfe_.replay_rows_stored()));
 }
 
 std::vector<double> CndIds::score(const Matrix& x_test) {
   require(pca_.fitted(), "CndIds::score: no experience observed yet");
+  obs::ScopedTimer timer(obs::metrics(), "cnd.score_ms");
+  obs::metrics().counter("cnd.rows_scored_total").add(x_test.rows());
   return pca_.score(cfe_.encode(x_test));
 }
 

@@ -18,6 +18,11 @@ struct CndIdsConfig {
   CfeConfig cfe;
   ml::PcaConfig pca{.explained_variance = 0.95};  ///< paper: 95%.
   std::uint64_t seed = 1234;
+
+  /// Check every field; throws std::invalid_argument naming the offending
+  /// field. Called by the CndIds constructor, so a detector can only be
+  /// built from a coherent config.
+  void validate() const;
 };
 
 class CndIds final : public ContinualDetector {

@@ -1,0 +1,222 @@
+#include "core/detector_factory.hpp"
+
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "tensor/rng.hpp"
+
+namespace cnd::core {
+
+namespace {
+
+/// Adapts a fit-once scorer (PCA, DIF, LOF, ...) to the ContinualDetector
+/// interface. kStaticNovelty fits on N_c at setup(); kStaticOutlier fits on
+/// the first observed training stream; both ignore every later experience.
+class FrozenScorer final : public ContinualDetector {
+ public:
+  FrozenScorer(std::string name, DetectorKind kind,
+               std::function<void(const Matrix&)> fit,
+               std::function<std::vector<double>(const Matrix&)> score)
+      : name_(std::move(name)),
+        kind_(kind),
+        fit_(std::move(fit)),
+        score_(std::move(score)) {}
+
+  std::string name() const override { return name_; }
+
+  void setup(const SetupContext& ctx) override {
+    if (kind_ == DetectorKind::kStaticNovelty) {
+      fit_(ctx.n_clean);
+      fitted_ = true;
+    }
+  }
+
+  void observe_experience(const Matrix& x_train) override {
+    if (kind_ == DetectorKind::kStaticOutlier && !fitted_) {
+      fit_(x_train);
+      fitted_ = true;
+    }
+  }
+
+  std::vector<double> score(const Matrix& x_test) override {
+    if (!fitted_)
+      throw std::logic_error("FrozenScorer(" + name_ + "): score before fit");
+    return score_(x_test);
+  }
+
+ private:
+  std::string name_;
+  DetectorKind kind_;
+  std::function<void(const Matrix&)> fit_;
+  std::function<std::vector<double>(const Matrix&)> score_;
+  bool fitted_ = false;
+};
+
+struct Entry {
+  DetectorKind kind;
+  DetectorFactory factory;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, Entry> entries;
+};
+
+/// Wrap a detector object in a FrozenScorer; the object lives in a
+/// shared_ptr captured by both closures.
+template <typename Det, typename FitFn>
+std::unique_ptr<ContinualDetector> frozen(const std::string& name,
+                                          DetectorKind kind, Det det,
+                                          FitFn fit) {
+  auto ptr = std::make_shared<Det>(std::move(det));
+  return std::make_unique<FrozenScorer>(
+      name, kind, [ptr, fit](const Matrix& x) { fit(*ptr, x); },
+      [ptr](const Matrix& x) { return ptr->score(x); });
+}
+
+void register_builtins(Registry& r) {
+  auto add = [&](const std::string& name, DetectorKind kind, DetectorFactory f) {
+    r.entries.emplace(name, Entry{kind, std::move(f)});
+  };
+
+  // Continual detectors.
+  add("CND-IDS", DetectorKind::kContinual, [](const DetectorConfig& c) {
+    return std::make_unique<CndIds>(c.cnd);
+  });
+  add("ADCN", DetectorKind::kContinual, [](const DetectorConfig& c) {
+    return std::make_unique<baselines::Adcn>(c.adcn);
+  });
+  add("LwF", DetectorKind::kContinual, [](const DetectorConfig& c) {
+    return std::make_unique<baselines::Lwf>(c.lwf);
+  });
+
+  // Static novelty detectors: fit on the clean-normal holdout N_c.
+  add("PCA", DetectorKind::kStaticNovelty, [](const DetectorConfig& c) {
+    return frozen("PCA", DetectorKind::kStaticNovelty, ml::Pca(c.pca),
+                  [](ml::Pca& d, const Matrix& x) { d.fit(x); });
+  });
+  add("DIF", DetectorKind::kStaticNovelty, [](const DetectorConfig& c) {
+    const std::uint64_t seed = c.seed;
+    return frozen("DIF", DetectorKind::kStaticNovelty,
+                  ml::DeepIsolationForest(c.dif),
+                  [seed](ml::DeepIsolationForest& d, const Matrix& x) {
+                    Rng rng(seed);
+                    d.fit(x, rng);
+                  });
+  });
+  add("GMM", DetectorKind::kStaticNovelty, [](const DetectorConfig& c) {
+    const std::uint64_t seed = c.seed;
+    return frozen("GMM", DetectorKind::kStaticNovelty, ml::Gmm(c.gmm),
+                  [seed](ml::Gmm& d, const Matrix& x) {
+                    Rng rng(seed);
+                    d.fit(x, rng);
+                  });
+  });
+  add("Maha", DetectorKind::kStaticNovelty, [](const DetectorConfig& c) {
+    return frozen("Maha", DetectorKind::kStaticNovelty,
+                  ml::MahalanobisDetector(c.maha),
+                  [](ml::MahalanobisDetector& d, const Matrix& x) { d.fit(x); });
+  });
+  add("kNN", DetectorKind::kStaticNovelty, [](const DetectorConfig& c) {
+    return frozen("kNN", DetectorKind::kStaticNovelty, ml::KnnDetector(c.knn),
+                  [](ml::KnnDetector& d, const Matrix& x) { d.fit(x); });
+  });
+  add("HBOS", DetectorKind::kStaticNovelty, [](const DetectorConfig& c) {
+    return frozen("HBOS", DetectorKind::kStaticNovelty, ml::Hbos(c.hbos),
+                  [](ml::Hbos& d, const Matrix& x) { d.fit(x); });
+  });
+  add("AE", DetectorKind::kStaticNovelty, [](const DetectorConfig& c) {
+    return frozen("AE", DetectorKind::kStaticNovelty,
+                  ml::AeDetector(c.ae, c.seed),
+                  [](ml::AeDetector& d, const Matrix& x) { d.fit(x); });
+  });
+
+  // Static outlier detectors: fit on the first observed stream (Faber et
+  // al. [15] usage), frozen afterwards.
+  add("LOF", DetectorKind::kStaticOutlier, [](const DetectorConfig& c) {
+    return frozen("LOF", DetectorKind::kStaticOutlier, ml::Lof(c.lof),
+                  [](ml::Lof& d, const Matrix& x) { d.fit(x); });
+  });
+  add("OC-SVM", DetectorKind::kStaticOutlier, [](const DetectorConfig& c) {
+    return frozen("OC-SVM", DetectorKind::kStaticOutlier, ml::OcSvm(c.ocsvm),
+                  [](ml::OcSvm& d, const Matrix& x) { d.fit(x); });
+  });
+}
+
+Registry& registry() {
+  static Registry* r = [] {
+    auto* reg = new Registry();  // never destroyed: usable during teardown
+    register_builtins(*reg);
+    return reg;
+  }();
+  return *r;
+}
+
+// Caller must hold r.mutex (so this must not re-lock via detector_names()).
+[[noreturn]] void throw_unknown(const Registry& r, const std::string& name) {
+  std::string msg = "unknown detector '" + name + "'; registered:";
+  for (const auto& [n, entry] : r.entries) msg += " " + n;
+  throw std::invalid_argument(msg);
+}
+
+Entry lookup(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mutex);
+  const auto it = r.entries.find(name);
+  if (it == r.entries.end()) throw_unknown(r, name);
+  return it->second;
+}
+
+}  // namespace
+
+std::unique_ptr<ContinualDetector> make_detector(const std::string& name,
+                                                 const DetectorConfig& cfg) {
+  return lookup(name).factory(cfg);
+}
+
+DetectorKind detector_kind(const std::string& name) {
+  return lookup(name).kind;
+}
+
+std::vector<std::string> detector_names() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mutex);
+  std::vector<std::string> names;
+  names.reserve(r.entries.size());
+  for (const auto& [name, entry] : r.entries) names.push_back(name);
+  return names;  // std::map iteration order is already sorted
+}
+
+bool register_detector(const std::string& name, DetectorKind kind,
+                       DetectorFactory factory) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mutex);
+  const bool replaced = r.entries.count(name) > 0;
+  r.entries[name] = Entry{kind, std::move(factory)};
+  return replaced;
+}
+
+RunResult run_detector(const std::string& name, const DetectorConfig& cfg,
+                       const data::ExperienceSet& es, const RunConfig& rc) {
+  const Entry entry = lookup(name);
+  std::unique_ptr<ContinualDetector> det = entry.factory(cfg);
+  if (entry.kind == DetectorKind::kContinual)
+    return run_protocol(*det, es, rc);
+
+  if (es.experiences.empty())
+    throw std::invalid_argument("run_detector: empty experience set");
+
+  // Static path: one-time fit per the detector's kind, then broadcast the
+  // frozen scorer over every test split — identical to the pre-factory
+  // run_static_* helpers.
+  static const Matrix kNoSeedX;
+  static const std::vector<int> kNoSeedY;
+  det->setup(SetupContext{es.n_clean, kNoSeedX, kNoSeedY});
+  det->observe_experience(es.experiences.front().x_train);
+  return run_static_scorer(
+      name, [&](const Matrix& x) { return det->score(x); }, es);
+}
+
+}  // namespace cnd::core

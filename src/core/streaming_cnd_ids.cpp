@@ -1,21 +1,39 @@
 #include "core/streaming_cnd_ids.hpp"
 
+#include <stdexcept>
+
 #include "eval/robust_threshold.hpp"
 #include "eval/threshold.hpp"
+#include "obs/event_log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scoped_timer.hpp"
 #include "tensor/assert.hpp"
 
 namespace cnd::core {
 
-StreamingCndIds::StreamingCndIds(const StreamingConfig& cfg)
-    : cfg_(cfg),
-      detector_(cfg.detector),
-      ph_(cfg.ph_delta, cfg.ph_lambda, /*min_samples=*/8) {
-  require(cfg.min_buffer_rows >= 32, "StreamingCndIds: min_buffer_rows too small");
-  require(cfg.max_buffer_rows >= cfg.min_buffer_rows,
-          "StreamingCndIds: max_buffer_rows < min_buffer_rows");
-  require(cfg.target_fpr > 0.0 && cfg.target_fpr < 0.05,
-          "StreamingCndIds: target_fpr out of (0, 0.05)");
+void StreamingConfig::validate() const {
+  // Surface nested detector-config errors with a "detector." prefix so the
+  // caller can tell which layer rejected the value.
+  try {
+    detector.validate();
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument("StreamingConfig: detector." +
+                                std::string(e.what()));
+  }
+  require(min_buffer_rows >= 32,
+          "StreamingConfig: min_buffer_rows must be >= 32");
+  require(max_buffer_rows >= min_buffer_rows,
+          "StreamingConfig: max_buffer_rows < min_buffer_rows");
+  require(ph_delta >= 0.0, "StreamingConfig: ph_delta must be >= 0");
+  require(ph_lambda > 0.0, "StreamingConfig: ph_lambda must be > 0");
+  require(target_fpr > 0.0 && target_fpr < 0.05,
+          "StreamingConfig: target_fpr out of (0, 0.05)");
 }
+
+StreamingCndIds::StreamingCndIds(const StreamingConfig& cfg)
+    : cfg_((cfg.validate(), cfg)),
+      detector_(cfg.detector),
+      ph_(cfg.ph_delta, cfg.ph_lambda, /*min_samples=*/8) {}
 
 void StreamingCndIds::bootstrap(const Matrix& n_clean) {
   require(n_clean.rows() >= 32, "StreamingCndIds::bootstrap: clean window too small");
@@ -28,9 +46,14 @@ void StreamingCndIds::bootstrap(const Matrix& n_clean) {
   threshold_ = eval::pot_threshold(
       detector_.score(n_clean_), {.tail_quantile = 0.9, .target_prob = cfg_.target_fpr});
   ready_ = true;
+  obs::metrics().gauge("stream.threshold").set(threshold_);
+  obs::events().emit("stream.bootstrap",
+                     {{"clean_rows", n_clean.rows()}, {"threshold", threshold_}});
 }
 
 void StreamingCndIds::adapt() {
+  const std::size_t buffer_rows = buffer_.rows();
+  obs::ScopedTimer timer(obs::metrics(), "stream.adaptation_ms");
   detector_.observe_experience(buffer_);
   // Recalibrate the alarm level on the vouched clean window under the
   // freshly adapted encoder. Calibrating on the live buffer instead would
@@ -41,11 +64,23 @@ void StreamingCndIds::adapt() {
   buffer_ = Matrix();
   ph_.reset();
   ++adaptations_;
+  const double duration_ms = timer.stop_ms();
+  obs::MetricsRegistry& m = obs::metrics();
+  m.counter("stream.adaptations_total").add(1);
+  m.gauge("stream.threshold").set(threshold_);
+  obs::events().emit("stream.adaptation", {{"round", adaptations_},
+                                           {"buffer_rows", buffer_rows},
+                                           {"threshold", threshold_},
+                                           {"duration_ms", duration_ms}});
 }
 
 StreamBatchResult StreamingCndIds::process_batch(const Matrix& batch) {
   require(ready_, "StreamingCndIds::process_batch: bootstrap() not called");
   require(batch.rows() > 0, "StreamingCndIds::process_batch: empty batch");
+  require(batch.cols() == n_clean_.cols(),
+          "StreamingCndIds::process_batch: batch has " +
+              std::to_string(batch.cols()) + " columns, bootstrap window had " +
+              std::to_string(n_clean_.cols()));
 
   StreamBatchResult res;
   res.scores = detector_.score(batch);
@@ -60,6 +95,15 @@ StreamBatchResult StreamingCndIds::process_batch(const Matrix& batch) {
   mean /= static_cast<double>(res.scores.size());
   res.drift_signal = ph_.update(mean);
 
+  obs::MetricsRegistry& m = obs::metrics();
+  m.counter("stream.batches_total").add(1);
+  m.counter("stream.flows_total").add(batch.rows());
+  if (res.drift_signal) {
+    m.counter("stream.drift_signals_total").add(1);
+    obs::events().emit("stream.drift",
+                       {{"flows_seen", flows_seen_}, {"mean_score", mean}});
+  }
+
   buffer_.append_rows(batch);
   const bool buffer_full = buffer_.rows() >= cfg_.max_buffer_rows;
   const bool can_adapt = buffer_.rows() >= cfg_.min_buffer_rows;
@@ -67,6 +111,7 @@ StreamBatchResult StreamingCndIds::process_batch(const Matrix& batch) {
     adapt();
     res.adapted = true;
   }
+  m.gauge("stream.buffer_rows").set(static_cast<double>(buffer_.rows()));
   return res;
 }
 

@@ -25,6 +25,11 @@ struct StreamingConfig {
   /// Label-free alarm threshold: peaks-over-threshold on the vouched clean
   /// window's scores, placed at this target false-alarm probability.
   double target_fpr = 0.01;
+
+  /// Check every field (including the nested detector config); throws
+  /// std::invalid_argument naming the offending field. Called by the
+  /// StreamingCndIds constructor.
+  void validate() const;
 };
 
 /// One processed batch: per-flow scores/verdicts plus adaptation telemetry.

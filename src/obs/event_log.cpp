@@ -1,0 +1,112 @@
+#include "obs/event_log.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace cnd::obs {
+
+namespace {
+
+void append_double(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+FileSink::FileSink(const std::string& path) : file_(std::fopen(path.c_str(), "w")) {
+  if (!file_) throw std::runtime_error("FileSink: cannot open '" + path + "'");
+}
+
+FileSink::~FileSink() {
+  if (file_) std::fclose(file_);
+}
+
+void FileSink::write(std::string_view line) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+}
+
+void FileSink::flush() {
+  std::lock_guard<std::mutex> lk(mutex_);
+  std::fflush(file_);
+}
+
+void MemorySink::write(std::string_view line) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  lines_.emplace_back(line);
+}
+
+std::vector<std::string> MemorySink::lines() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return lines_;
+}
+
+void EventLog::set_sink(std::shared_ptr<EventSink> sink) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  sink_ = std::move(sink);
+  enabled_.store(sink_ != nullptr, std::memory_order_relaxed);
+}
+
+void EventLog::emit(std::string_view event, std::initializer_list<Field> fields) {
+  if (!enabled()) return;
+
+  std::string line = "{\"event\":\"" + json_escape(event) +
+                     "\",\"seq\":" + std::to_string(seq_.fetch_add(1)) ;
+  for (const Field& f : fields) {
+    line += ",\"";
+    line += json_escape(f.key);
+    line += "\":";
+    switch (f.type) {
+      case Field::Type::kDouble: append_double(&line, f.d); break;
+      case Field::Type::kInt: line += std::to_string(f.i); break;
+      case Field::Type::kUint: line += std::to_string(f.u); break;
+      case Field::Type::kBool: line += f.b ? "true" : "false"; break;
+      case Field::Type::kString: line += '"' + json_escape(f.s) + '"'; break;
+    }
+  }
+  line += '}';
+  emit_raw(line);
+}
+
+void EventLog::emit_raw(std::string_view json_line) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  if (sink_) sink_->write(json_line);
+}
+
+void EventLog::flush() {
+  std::lock_guard<std::mutex> lk(mutex_);
+  if (sink_) sink_->flush();
+}
+
+EventLog& events() {
+  static EventLog* log = new EventLog();  // never destroyed: instrumented
+  return *log;  // code may emit during static teardown (atexit snapshot).
+}
+
+}  // namespace cnd::obs

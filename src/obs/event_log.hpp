@@ -1,0 +1,122 @@
+// Structured JSONL event sink.
+//
+// Instrumented layers emit discrete events (an adaptation round, a drift
+// signal, a run summary) as one JSON object per line through the process
+// EventLog. The default backend is null: emit() returns after one relaxed
+// atomic load, builds nothing, and allocates nothing, so event call sites
+// are free when observability is off. Attaching a FileSink (bench
+// `--metrics-out`) or MemorySink (tests) turns the stream on.
+//
+// Line schema (docs/OBSERVABILITY.md):
+//   {"event":"<name>","seq":<n>,<field>...}
+// "event" and "seq" are reserved keys; seq is a process-wide monotonic
+// sequence number so interleaved writers can be ordered. Field values are
+// numbers, booleans, or JSON-escaped strings. Telemetry may contain
+// wall-clock durations — the determinism contract only constrains result
+// CSVs, never this stream.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cnd::obs {
+
+/// One key/value pair of an event. Holds views only — fields are meant to
+/// be built inline in the emit() call from live locals; nothing is copied
+/// unless a sink is attached.
+struct Field {
+  enum class Type { kDouble, kInt, kUint, kBool, kString };
+
+  std::string_view key;
+  Type type;
+  double d = 0.0;
+  std::int64_t i = 0;
+  std::uint64_t u = 0;
+  bool b = false;
+  std::string_view s;
+
+  Field(std::string_view k, double v) : key(k), type(Type::kDouble), d(v) {}
+  Field(std::string_view k, bool v) : key(k), type(Type::kBool), b(v) {}
+  Field(std::string_view k, const char* v) : key(k), type(Type::kString), s(v) {}
+  Field(std::string_view k, std::string_view v) : key(k), type(Type::kString), s(v) {}
+  Field(std::string_view k, int v) : key(k), type(Type::kInt), i(v) {}
+  Field(std::string_view k, long v) : key(k), type(Type::kInt), i(v) {}
+  Field(std::string_view k, long long v) : key(k), type(Type::kInt), i(v) {}
+  Field(std::string_view k, unsigned v) : key(k), type(Type::kUint), u(v) {}
+  Field(std::string_view k, unsigned long v) : key(k), type(Type::kUint), u(v) {}
+  Field(std::string_view k, unsigned long long v) : key(k), type(Type::kUint), u(v) {}
+};
+
+/// Where finished JSONL lines go. write() receives one complete line
+/// without the trailing newline and must be safe to call from any thread.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void write(std::string_view line) = 0;
+  virtual void flush() {}
+};
+
+/// Appends lines to a file (created/truncated at construction).
+class FileSink final : public EventSink {
+ public:
+  explicit FileSink(const std::string& path);
+  ~FileSink() override;
+  void write(std::string_view line) override;
+  void flush() override;
+
+ private:
+  std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+};
+
+/// Collects lines in memory (tests).
+class MemorySink final : public EventSink {
+ public:
+  void write(std::string_view line) override;
+  std::vector<std::string> lines() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::string> lines_;
+};
+
+class EventLog {
+ public:
+  /// True when a sink is attached; emit() is a no-op otherwise.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Attach (or detach with nullptr) the backend. Thread-safe.
+  void set_sink(std::shared_ptr<EventSink> sink);
+
+  /// Emit one event line. With no sink attached this returns immediately
+  /// without formatting or allocating.
+  void emit(std::string_view event, std::initializer_list<Field> fields = {});
+
+  /// Write a pre-formatted JSON object as its own line (the caller
+  /// guarantees it is a valid single-line object). Used for the bench
+  /// harness's metrics_snapshot record.
+  void emit_raw(std::string_view json_line);
+
+  void flush();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> seq_{0};
+  std::mutex mutex_;  ///< guards sink_ swap vs use.
+  std::shared_ptr<EventSink> sink_;
+};
+
+/// The process-global event log every instrumented layer emits to.
+EventLog& events();
+
+/// JSON-escape a string value (quotes, backslashes, control characters).
+/// Exposed for the snapshot writer and tests.
+std::string json_escape(std::string_view s);
+
+}  // namespace cnd::obs

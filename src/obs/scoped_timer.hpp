@@ -1,0 +1,60 @@
+// RAII phase timer recording into a metrics histogram.
+//
+// Construction checks obs::enabled() once: when observability is off the
+// timer never reads the clock or touches the registry, so instrumenting a
+// hot path costs a single relaxed atomic load. When on, the destructor (or
+// an explicit stop_ms()) records the elapsed milliseconds into the named
+// histogram of the given registry.
+#pragma once
+
+#include <chrono>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace cnd::obs {
+
+class ScopedTimer {
+ public:
+  /// Times into `registry.histogram(name)` (default ms buckets).
+  ScopedTimer(MetricsRegistry& registry, std::string_view name) {
+    if (enabled()) {
+      hist_ = &registry.histogram(name);
+      start_ = clock::now();
+    }
+  }
+
+  /// Times into an already-resolved histogram (for per-call hot paths that
+  /// cache the handle).
+  explicit ScopedTimer(Histogram& hist) {
+    if (enabled()) {
+      hist_ = &hist;
+      start_ = clock::now();
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Record now instead of at scope exit. Returns the elapsed milliseconds
+  /// (0.0 when observability is off).
+  double stop_ms() {
+    if (!hist_) return 0.0;
+    const double ms =
+        std::chrono::duration<double, std::milli>(clock::now() - start_).count();
+    hist_->record(ms);
+    hist_ = nullptr;
+    return ms;
+  }
+
+  ~ScopedTimer() {
+    if (hist_) stop_ms();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  Histogram* hist_ = nullptr;
+  clock::time_point start_{};
+};
+
+}  // namespace cnd::obs

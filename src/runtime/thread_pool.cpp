@@ -1,9 +1,12 @@
 #include "runtime/thread_pool.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 #include <string>
+
+#include "obs/metrics.hpp"
 
 namespace cnd::runtime {
 
@@ -50,7 +53,7 @@ ThreadPool::ThreadPool(std::size_t n_workers) {
   if (n_workers == 0) n_workers = 1;
   workers_.reserve(n_workers);
   for (std::size_t i = 0; i < n_workers; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -62,7 +65,15 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::work_on(Job& job) {
+void ThreadPool::work_on(Job& job, std::size_t lane) {
+  // Telemetry is strictly write-only (docs/OBSERVABILITY.md): it never feeds
+  // back into chunk assignment or arithmetic, so the determinism contract is
+  // untouched. The clock is only read when observability is on.
+  const bool timed = obs::enabled();
+  const auto t0 = timed ? std::chrono::steady_clock::now()
+                        : std::chrono::steady_clock::time_point{};
+  std::size_t executed = 0;
+
   RegionGuard region;
   for (;;) {
     const std::size_t c = job.next.fetch_add(1, std::memory_order_relaxed);
@@ -73,11 +84,21 @@ void ThreadPool::work_on(Job& job) {
       std::lock_guard<std::mutex> lk(mutex_);
       if (!job.error) job.error = std::current_exception();
     }
+    ++executed;
     job.done.fetch_add(1, std::memory_order_release);
+  }
+
+  if (executed > 0)
+    obs::metrics().counter("runtime.tasks_total").add(executed);
+  if (timed) {
+    const double busy_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+    obs::metrics().gauge("runtime.lane_busy_ms." + std::to_string(lane)).add(busy_ms);
   }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_index) {
   std::uint64_t seen_epoch = 0;
   for (;;) {
     Job* job = nullptr;
@@ -89,7 +110,8 @@ void ThreadPool::worker_loop() {
       job = job_;
       ++job->workers_inside;
     }
-    work_on(*job);
+    // Lane 0 is the calling thread; workers are lanes 1..W.
+    work_on(*job, worker_index + 1);
     {
       std::lock_guard<std::mutex> lk(mutex_);
       --job->workers_inside;
@@ -105,6 +127,13 @@ void ThreadPool::run(std::size_t n_chunks,
   if (n_chunks == 0) return;
   std::lock_guard<std::mutex> serialize(run_mutex_);
 
+  {
+    obs::MetricsRegistry& m = obs::metrics();
+    m.counter("runtime.jobs_total").add(1);
+    m.counter("runtime.chunks_total").add(n_chunks);
+    m.gauge("runtime.queue_depth_hwm").record_max(static_cast<double>(n_chunks));
+  }
+
   Job job;
   job.fn = &chunk_fn;
   job.n_chunks = n_chunks;
@@ -115,7 +144,7 @@ void ThreadPool::run(std::size_t n_chunks,
   }
   cv_work_.notify_all();
 
-  work_on(job);  // the caller is a lane too
+  work_on(job, /*lane=*/0);  // the caller is a lane too
 
   // Wait until every chunk is done AND every worker has left work_on —
   // only then is it safe to pop `job` off this stack frame.

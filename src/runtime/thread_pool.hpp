@@ -52,8 +52,10 @@ class ThreadPool {
 
  private:
   struct Job;
-  void worker_loop();
-  void work_on(Job& job);
+  void worker_loop(std::size_t worker_index);
+  /// Pull chunks until the job is drained. `lane` identifies the executing
+  /// thread for telemetry only (0 = calling thread, 1..W = workers).
+  void work_on(Job& job, std::size_t lane);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;                  // guards job_, epoch_, stop_, Job bookkeeping

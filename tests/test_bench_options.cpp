@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -77,6 +78,39 @@ TEST(BenchOptions, MalformedThreadsThrows) {
   EXPECT_THROW(parse({"--threads="}), std::invalid_argument);
   EXPECT_THROW(parse({"--threads=0"}), std::invalid_argument);
   EXPECT_THROW(parse({"--threads=2x"}), std::invalid_argument);
+}
+
+TEST(BenchOptions, MetricsOutRequiresAPath) {
+  EXPECT_THROW(parse({"--metrics-out="}), std::invalid_argument);
+  EXPECT_THROW(parse({"--metrics-out"}), std::invalid_argument);
+}
+
+TEST(BenchOptions, MetricsOutEnablesObservability) {
+  const std::string path =
+      ::testing::TempDir() + "/test_bench_options_metrics.jsonl";
+  // Parsing --metrics-out turns observability on and attaches a file sink;
+  // both the '=' and separate-argument spellings must work.
+  for (const std::vector<std::string>& args :
+       {std::vector<std::string>{"--metrics-out=" + path},
+        std::vector<std::string>{"--metrics-out", path}}) {
+    const bench::BenchOptions o = parse(args);
+    EXPECT_EQ(o.metrics_out, path);
+    EXPECT_TRUE(obs::enabled());
+    EXPECT_TRUE(obs::events().enabled());
+    obs::events().set_sink(nullptr);  // restore the null backend
+    obs::set_enabled(false);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BenchOptions, StripHarnessFlagsRemovesMetricsOut) {
+  Argv a({"--metrics-out=x.jsonl", "--keep1", "--metrics-out", "y.jsonl",
+          "--keep2", "--scale=0.5"});
+  int argc = a.argc();
+  bench::strip_harness_flags(argc, a.argv());
+  ASSERT_EQ(argc, 3);
+  EXPECT_STREQ(a.argv()[1], "--keep1");
+  EXPECT_STREQ(a.argv()[2], "--keep2");
 }
 
 }  // namespace

@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
-# Verify the parallel runtime's determinism contract (docs/PARALLELISM.md):
-# the same bench run at CND_THREADS=1 and CND_THREADS=4 must produce
-# byte-identical CSV output.
+# Verify the parallel runtime's determinism contract (docs/PARALLELISM.md,
+# docs/OBSERVABILITY.md): the same bench run at CND_THREADS=1 and
+# CND_THREADS=4 must produce byte-identical CSV output — with telemetry off
+# AND with --metrics-out enabled. Metrics are a write-only side channel:
+# turning them on must not perturb a single result byte.
 #
 # Usage: tools/check_determinism.sh [bench-binary] [bench-args...]
 #   bench-binary  defaults to ${BUILD_DIR:-build}/bench/bench_multiseed
 #   bench-args    default to --scale=0.1
 #
-# Exit 0 when every CSV matches, 1 on any difference.
+# Exit 0 when every CSV matches across all four runs and the metrics JSONL
+# is well-formed, 1 otherwise.
 set -euo pipefail
 
 BUILD_DIR=${BUILD_DIR:-build}
@@ -27,13 +30,17 @@ trap 'rm -rf "${WORK}"' EXIT
 
 run_at() {
   local threads=$1 dir=$2
+  shift 2
   mkdir -p "${dir}"
-  echo "== CND_THREADS=${threads} $(basename "${BENCH}") ${ARGS[*]}"
-  (cd "${dir}" && CND_THREADS=${threads} "${BENCH}" "${ARGS[@]}" > stdout.log)
+  echo "== CND_THREADS=${threads} $(basename "${BENCH}") ${ARGS[*]} $*"
+  (cd "${dir}" && CND_THREADS=${threads} "${BENCH}" "${ARGS[@]}" "$@" > stdout.log)
 }
 
+# Plain runs, then runs with the observability pipeline fully enabled.
 run_at 1 "${WORK}/t1"
 run_at 4 "${WORK}/t4"
+run_at 1 "${WORK}/t1m" --metrics-out=metrics.jsonl
+run_at 4 "${WORK}/t4m" --metrics-out=metrics.jsonl
 
 shopt -s nullglob
 csvs=("${WORK}"/t1/*.csv)
@@ -45,12 +52,35 @@ fi
 status=0
 for f in "${csvs[@]}"; do
   name=$(basename "${f}")
-  if diff -q "${WORK}/t1/${name}" "${WORK}/t4/${name}" > /dev/null; then
-    echo "OK   ${name} identical at CND_THREADS=1 and 4"
-  else
-    echo "FAIL ${name} differs between CND_THREADS=1 and 4"
-    diff "${WORK}/t1/${name}" "${WORK}/t4/${name}" | head -10 || true
+  for dir in t4 t1m t4m; do
+    if diff -q "${WORK}/t1/${name}" "${WORK}/${dir}/${name}" > /dev/null; then
+      echo "OK   ${name} identical between t1 and ${dir}"
+    else
+      echo "FAIL ${name} differs between t1 and ${dir}"
+      diff "${WORK}/t1/${name}" "${WORK}/${dir}/${name}" | head -10 || true
+      status=1
+    fi
+  done
+done
+
+# The metrics stream itself: non-empty, one JSON object per line, and a
+# closing metrics_snapshot record from the atexit hook.
+for dir in t1m t4m; do
+  mfile="${WORK}/${dir}/metrics.jsonl"
+  if [ ! -s "${mfile}" ]; then
+    echo "FAIL ${dir}/metrics.jsonl missing or empty"
     status=1
+    continue
+  fi
+  if grep -qvE '^\{.*\}$' "${mfile}"; then
+    echo "FAIL ${dir}/metrics.jsonl has non-JSON-object lines:"
+    grep -vE '^\{.*\}$' "${mfile}" | head -3
+    status=1
+  elif ! grep -q '"event":"metrics_snapshot"' "${mfile}"; then
+    echo "FAIL ${dir}/metrics.jsonl lacks the closing metrics_snapshot record"
+    status=1
+  else
+    echo "OK   ${dir}/metrics.jsonl well-formed ($(wc -l < "${mfile}") lines)"
   fi
 done
 exit ${status}

@@ -5,9 +5,14 @@
 //         [--scale=0.25] [--seed=42]
 //       Write a synthetic intrusion dataset in the library CSV format.
 //
-//   run   --data=<csv> [--experiences=5] [--seed=7] [--epochs=8]
+//   run   --data=<csv> [--detector=CND-IDS] [--experiences=5] [--seed=7]
+//         [--epochs=8]
 //       Run the full continual protocol (Algorithm 1) on a labeled CSV and
-//       print the R matrix plus AVG / FwdTrans / BwdTrans.
+//       print the R matrix plus AVG / FwdTrans / BwdTrans. --detector
+//       accepts any name from `cnd detectors` (the core registry).
+//
+//   detectors
+//       List every registry detector name with its kind.
 //
 //   score --train=<csv> --test=<csv> [--quantile=0.99] [--epochs=8]
 //         [--save-model=<bin>]
@@ -26,6 +31,7 @@
 #include <string>
 
 #include "core/cnd_ids.hpp"
+#include "core/detector_factory.hpp"
 #include "core/experience_runner.hpp"
 #include "core/explanation.hpp"
 #include "io/model_io.hpp"
@@ -61,14 +67,31 @@ std::string flag(const std::map<std::string, std::string>& f, const std::string&
 
 int usage() {
   std::fprintf(stderr,
-               "usage: cnd <gen|run|score|apply> [--flags]\n"
-               "  gen   --dataset=x_iiotid|wustl_iiot|cicids2017|unsw_nb15 "
+               "usage: cnd <gen|run|score|apply|detectors> [--flags]\n"
+               "  gen       --dataset=x_iiotid|wustl_iiot|cicids2017|unsw_nb15 "
                "--out=FILE [--scale=0.25] [--seed=42]\n"
-               "  run   --data=FILE [--experiences=5] [--seed=7] [--epochs=8]\n"
-               "  score --train=FILE --test=FILE [--quantile=0.99] [--epochs=8] "
-               "[--save-model=FILE]\n"
-               "  apply --model=FILE --test=FILE\n");
+               "  run       --data=FILE [--detector=CND-IDS] [--experiences=5] "
+               "[--seed=7] [--epochs=8]\n"
+               "  score     --train=FILE --test=FILE [--quantile=0.99] "
+               "[--epochs=8] [--save-model=FILE]\n"
+               "  apply     --model=FILE --test=FILE\n"
+               "  detectors\n");
   return 2;
+}
+
+int cmd_detectors() {
+  for (const std::string& name : core::detector_names()) {
+    const char* kind = "";
+    switch (core::detector_kind(name)) {
+      case core::DetectorKind::kContinual: kind = "continual"; break;
+      case core::DetectorKind::kStaticNovelty: kind = "static (fit on N_c)"; break;
+      case core::DetectorKind::kStaticOutlier:
+        kind = "static (fit on first stream)";
+        break;
+    }
+    std::printf("%-10s %s\n", name.c_str(), kind);
+  }
+  return 0;
 }
 
 int cmd_gen(const std::map<std::string, std::string>& f) {
@@ -106,12 +129,14 @@ int cmd_run(const std::map<std::string, std::string>& f) {
   data::ExperienceSet es =
       data::prepare_experiences(ds, {.n_experiences = m, .seed = seed});
 
-  core::CndIdsConfig cfg;
-  cfg.cfe.epochs = static_cast<std::size_t>(std::stoul(flag(f, "epochs", "8")));
+  const std::string detector = flag(f, "detector", "CND-IDS");
+  core::DetectorConfig cfg;
   cfg.seed = seed;
-  core::CndIds det(cfg);
+  cfg.cnd.cfe.epochs =
+      static_cast<std::size_t>(std::stoul(flag(f, "epochs", "8")));
+  cfg.cnd.seed = seed;
   const core::RunResult res =
-      core::run_protocol(det, es, {.seed = seed, .verbose = true});
+      core::run_detector(detector, cfg, es, {.seed = seed, .verbose = true});
 
   std::printf("\nAVG=%.4f FwdTrans=%.4f BwdTrans=%+.4f  (fit %.0f ms, "
               "%.4f ms/sample inference)\n",
@@ -144,9 +169,13 @@ int cmd_score(const std::map<std::string, std::string>& f) {
   Matrix x_stream = scaler.transform(train.x);
   Matrix x_test = scaler.transform(test.x);
 
-  core::CndIdsConfig cfg;
-  cfg.cfe.epochs = static_cast<std::size_t>(std::stoul(flag(f, "epochs", "8")));
-  core::CndIds det(cfg);
+  core::DetectorConfig cfg;
+  cfg.cnd.cfe.epochs =
+      static_cast<std::size_t>(std::stoul(flag(f, "epochs", "8")));
+  const auto detp = core::make_detector("CND-IDS", cfg);
+  // The artifact format freezes the concrete CND-IDS scoring path (CFE +
+  // PCA), so this command needs the implementation, not just the interface.
+  auto& det = dynamic_cast<core::CndIds&>(*detp);
   Matrix seed_x;
   std::vector<int> seed_y;
   det.setup(core::SetupContext{n_clean, seed_x, seed_y});
@@ -205,6 +234,7 @@ int main(int argc, char** argv) {
     if (cmd == "run") return cmd_run(flags);
     if (cmd == "score") return cmd_score(flags);
     if (cmd == "apply") return cmd_apply(flags);
+    if (cmd == "detectors") return cmd_detectors();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "cnd %s: %s\n", cmd.c_str(), e.what());
     return 1;
