@@ -99,7 +99,8 @@ TEST(FlowGenerator, SubspaceShiftChangesCovarianceNotMean) {
 TEST(Synth, PaperDatasetShapesMatchTableI) {
   const Dataset xiiot = make_x_iiotid(1);
   EXPECT_EQ(xiiot.n_attack_classes(), 18u);
-  EXPECT_GT(xiiot.n_normals(), xiiot.n_attacks() * 0.9);  // ~51/49 split
+  EXPECT_GT(static_cast<double>(xiiot.n_normals()),
+            static_cast<double>(xiiot.n_attacks()) * 0.9);  // ~51/49 split
 
   const Dataset wustl = make_wustl_iiot(1);
   EXPECT_EQ(wustl.n_attack_classes(), 4u);
@@ -209,8 +210,11 @@ TEST(Experiences, AttackFamiliesOnlyInTheirExperience) {
   for (std::size_t e = 0; e < es.size(); ++e) {
     const auto& here = es.experiences[e].attack_classes_here;
     const std::set<int> allowed(here.begin(), here.end());
-    for (int c : es.experiences[e].test_class)
-      if (c >= 0) EXPECT_TRUE(allowed.count(c)) << "foreign family in test set";
+    for (int c : es.experiences[e].test_class) {
+      if (c >= 0) {
+        EXPECT_TRUE(allowed.count(c)) << "foreign family in test set";
+      }
+    }
   }
 }
 

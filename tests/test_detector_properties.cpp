@@ -179,9 +179,9 @@ std::vector<CaseParam> all_cases() {
 
 INSTANTIATE_TEST_SUITE_P(
     Zoo, DetectorProperty, ::testing::ValuesIn(all_cases()),
-    [](const ::testing::TestParamInfo<CaseParam>& info) {
-      return std::string(kDetectors[info.param.detector_idx].name) + "_s" +
-             std::to_string(info.param.seed);
+    [](const ::testing::TestParamInfo<CaseParam>& param_info) {
+      return std::string(kDetectors[param_info.param.detector_idx].name) + "_s" +
+             std::to_string(param_info.param.seed);
     });
 
 }  // namespace
