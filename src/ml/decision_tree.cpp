@@ -98,7 +98,8 @@ std::size_t DecisionTree::build(const Matrix& x, const std::vector<std::size_t>&
       if (vals[i + 1].first == vals[i].first) continue;
       const double nl = static_cast<double>(i + 1);
       const double nr = total - nl;
-      if (nl < cfg_.min_samples_leaf || nr < cfg_.min_samples_leaf) continue;
+      const double min_leaf = static_cast<double>(cfg_.min_samples_leaf);
+      if (nl < min_leaf || nr < min_leaf) continue;
       const double score =
           (nl * gini(left_counts, nl) + nr * gini(right_counts, nr)) / total;
       if (score < best_score - 1e-12) {

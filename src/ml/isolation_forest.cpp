@@ -19,7 +19,8 @@ void IsolationForest::fit(const Matrix& x, Rng& rng) {
   require(cfg_.n_trees > 0, "IsolationForest::fit: need at least 1 tree");
   const std::size_t psi = std::min(cfg_.subsample, x.rows());
   const auto max_depth =
-      static_cast<std::size_t>(std::ceil(std::log2(std::max<double>(2.0, psi))));
+      static_cast<std::size_t>(
+          std::ceil(std::log2(std::max(2.0, static_cast<double>(psi)))));
   c_norm_ = std::max(iforest_c(static_cast<double>(psi)), 1e-12);
 
   // Derive one RNG stream per tree up front (serially, from the caller's
