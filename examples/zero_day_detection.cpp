@@ -68,8 +68,10 @@ int main(int argc, char** argv) {
     sum_f1_cnd += f1_c;
 
     std::string fams;
-    for (int c : wave.attack_classes_here)
-      fams += (fams.empty() ? "" : ",") + std::to_string(c);
+    for (int c : wave.attack_classes_here) {
+      if (!fams.empty()) fams += ',';
+      fams += std::to_string(c);
+    }
     std::printf("  %-8zu %-14s %9.4f %9.4f %9.4f %9.4f\n", w, fams.c_str(),
                 ap_f, ap_c, f1_f, f1_c);
   }

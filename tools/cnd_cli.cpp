@@ -51,10 +51,15 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv, int from) 
     std::string a = argv[i];
     if (a.rfind("--", 0) != 0) continue;
     const auto eq = a.find('=');
-    if (eq == std::string::npos)
-      out[a.substr(2)] = "1";
-    else
-      out[a.substr(2, eq - 2)] = a.substr(eq + 1);
+    std::string key, val;
+    if (eq == std::string::npos) {
+      key.assign(a, 2, std::string::npos);
+      val.assign(1, '1');
+    } else {
+      key.assign(a, 2, eq - 2);
+      val.assign(a, eq + 1, std::string::npos);
+    }
+    out.insert_or_assign(std::move(key), std::move(val));
   }
   return out;
 }
