@@ -3,6 +3,7 @@
 #include "obs/metrics.hpp"
 #include "obs/scoped_timer.hpp"
 #include "tensor/assert.hpp"
+#include "tensor/check.hpp"
 
 namespace cnd::core {
 
@@ -78,7 +79,11 @@ std::vector<double> CndIds::score(const Matrix& x_test) {
   require(pca_.fitted(), "CndIds::score: no experience observed yet");
   obs::ScopedTimer timer(obs::metrics(), "cnd.score_ms");
   obs::metrics().counter("cnd.rows_scored_total").add(x_test.rows());
-  return pca_.score(cfe_.encode(x_test));
+  std::vector<double> s = pca_.score(cfe_.encode(x_test));
+  // Scores feed threshold search and CSV output; a NaN would scramble both.
+  CND_DCHECK_ALL_FINITE(std::span<const double>(s),
+                        "CndIds::score: non-finite score");
+  return s;
 }
 
 }  // namespace cnd::core

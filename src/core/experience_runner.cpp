@@ -6,6 +6,7 @@
 #include "eval/threshold.hpp"
 #include "eval/timer.hpp"
 #include "tensor/assert.hpp"
+#include "tensor/check.hpp"
 #include "tensor/rng.hpp"
 
 namespace cnd::core {
@@ -68,6 +69,8 @@ RunResult run_protocol(ContinualDetector& det, const data::ExperienceSet& es,
         infer_ms += t.elapsed_ms();
         infer_samples += e.x_test.rows();
         require(s.size() == e.y_test.size(), "run_protocol: bad score length");
+        CND_DCHECK_ALL_FINITE(std::span<const double>(s),
+                              "run_protocol: non-finite detector score");
         const auto best = eval::best_f_threshold(s, e.y_test);
         res.f1.set(i, j, best.f1);
         res.pr_auc.set(i, j, eval::pr_auc(s, e.y_test));

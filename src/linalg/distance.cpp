@@ -6,11 +6,14 @@
 
 #include "runtime/parallel_for.hpp"
 #include "tensor/assert.hpp"
+#include "tensor/check.hpp"
 
 namespace cnd::linalg {
 
 Matrix pairwise_dist(const Matrix& a, const Matrix& b) {
   require(a.cols() == b.cols(), "pairwise_dist: feature mismatch");
+  CND_DCHECK_ALL_FINITE(a, "pairwise_dist: lhs has non-finite elements");
+  CND_DCHECK_ALL_FINITE(b, "pairwise_dist: rhs has non-finite elements");
   Matrix d(a.rows(), b.rows());
   runtime::parallel_for(0, a.rows(),
                         runtime::grain_for_cost(b.rows() * a.cols()),
@@ -27,6 +30,10 @@ Matrix pairwise_dist(const Matrix& a, const Matrix& b) {
 Knn knn(const Matrix& query, const Matrix& ref, std::size_t k, bool exclude_self) {
   require(query.cols() == ref.cols(), "knn: feature mismatch");
   require(k > 0, "knn: k must be > 0");
+  // NaN distances make partial_sort's strict-weak ordering undefined, which
+  // would silently scramble neighbour lists.
+  CND_DCHECK_ALL_FINITE(query, "knn: query has non-finite elements");
+  CND_DCHECK_ALL_FINITE(ref, "knn: reference has non-finite elements");
   const std::size_t avail = ref.rows() - (exclude_self ? 1 : 0);
   require(k <= avail, "knn: k larger than reference set");
 

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "tensor/assert.hpp"
+#include "tensor/check.hpp"
 
 namespace cnd::linalg {
 
@@ -83,6 +84,11 @@ EigenResult eigen_symmetric(const Matrix& a, double sym_tol, int max_sweeps) {
     res.values[j] = diag[order[j]];
     for (std::size_t i = 0; i < n; ++i) res.vectors(i, j) = v(i, order[j]);
   }
+  // A non-finite input slips past the symmetry check (NaN compares false);
+  // catch it where the rotation sweeps would have amplified it.
+  CND_DCHECK_ALL_FINITE(std::span<const double>(res.values),
+                        "eigen_symmetric: non-finite eigenvalue");
+  CND_DCHECK_ALL_FINITE(res.vectors, "eigen_symmetric: non-finite eigenvector");
   return res;
 }
 

@@ -4,6 +4,7 @@
 
 #include "linalg/eigen.hpp"
 #include "tensor/assert.hpp"
+#include "tensor/check.hpp"
 
 namespace cnd::linalg {
 
@@ -49,6 +50,10 @@ SvdResult svd_thin(const Matrix& a, double rank_tol) {
     for (std::size_t j = 0; j < r; ++j)
       for (std::size_t i = 0; i < a.cols(); ++i) out.v(i, j) = atv(i, j) / out.sigma[j];
   }
+  // sigma[j] > 0 is guaranteed by the rank cutoff above; the divisions can
+  // still blow up if the Gram eigenbasis degenerated.
+  CND_DCHECK_ALL_FINITE(out.u, "svd_thin: non-finite left singular vectors");
+  CND_DCHECK_ALL_FINITE(out.v, "svd_thin: non-finite right singular vectors");
   return out;
 }
 

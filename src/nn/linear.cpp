@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "tensor/assert.hpp"
+#include "tensor/check.hpp"
 
 namespace cnd::nn {
 
@@ -30,6 +31,7 @@ Matrix Linear::backward(const Matrix& grad_out) {
   require(!x_cache_.empty(), "Linear::backward: no cached forward pass");
   require(grad_out.rows() == x_cache_.rows() && grad_out.cols() == w_.cols(),
           "Linear::backward: gradient shape mismatch");
+  CND_DCHECK_ALL_FINITE(grad_out, "Linear::backward: non-finite upstream gradient");
   gw_ += matmul_at(x_cache_, grad_out);
   for (std::size_t i = 0; i < grad_out.rows(); ++i) {
     auto g = grad_out.row(i);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "tensor/assert.hpp"
+#include "tensor/check.hpp"
 
 namespace cnd::nn {
 
@@ -25,6 +26,7 @@ LossGrad mse_loss(const Matrix& pred, const Matrix& target) {
     }
   }
   out.loss = loss / n;
+  CND_DCHECK_FINITE(out.loss, "mse_loss: loss");
   return out;
 }
 
@@ -95,6 +97,8 @@ LossGrad triplet_margin_loss(const Matrix& emb, const std::vector<int>& labels,
   out.loss *= scale;
   out.grad *= scale;
   (void)active;
+  CND_DCHECK_FINITE(out.loss, "triplet_margin_loss: loss");
+  CND_DCHECK_ALL_FINITE(out.grad, "triplet_margin_loss: non-finite gradient");
   return out;
 }
 
@@ -118,6 +122,7 @@ LossGrad softmax_cross_entropy(const Matrix& logits,
       if (j == labels[i]) out.loss += -(z[j] - zmax - std::log(denom)) / bn;
     }
   }
+  CND_DCHECK_FINITE(out.loss, "softmax_ce: loss");
   return out;
 }
 

@@ -3,12 +3,14 @@
 #include <cmath>
 
 #include "tensor/assert.hpp"
+#include "tensor/check.hpp"
 
 namespace cnd::nn {
 
 void Sgd::step(std::vector<Param> params) {
   for (auto& p : params) {
     CND_ASSERT(p.value->same_shape(*p.grad));
+    CND_DCHECK_ALL_FINITE(*p.grad, "Sgd::step: non-finite gradient");
     for (std::size_t i = 0; i < p.value->rows(); ++i) {
       auto w = p.value->row(i);
       auto g = p.grad->row(i);
@@ -37,6 +39,7 @@ void Adam::step(std::vector<Param> params) {
   for (std::size_t k = 0; k < params.size(); ++k) {
     auto& p = params[k];
     CND_ASSERT(p.value->same_shape(*p.grad));
+    CND_DCHECK_ALL_FINITE(*p.grad, "Adam::step: non-finite gradient");
     require(m_[k].same_shape(*p.value), "Adam: parameter shape changed");
     for (std::size_t i = 0; i < p.value->rows(); ++i) {
       auto w = p.value->row(i);

@@ -5,6 +5,7 @@
 
 #include "runtime/parallel_for.hpp"
 #include "tensor/assert.hpp"
+#include "tensor/check.hpp"
 
 namespace cnd {
 
@@ -108,6 +109,9 @@ Matrix operator*(double s, Matrix a) { return a *= s; }
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
   require(a.cols() == b.rows(), "matmul: inner dimension mismatch");
+  // Catch NaN/Inf before the skip-zero inner loop can mask a poisoned input.
+  CND_DCHECK_ALL_FINITE(a, "matmul: lhs has non-finite elements");
+  CND_DCHECK_ALL_FINITE(b, "matmul: rhs has non-finite elements");
   Matrix c(a.rows(), b.cols());
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   runtime::parallel_for(0, m, runtime::grain_for_cost(k * n),
@@ -128,6 +132,8 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
 
 Matrix matmul_bt(const Matrix& a, const Matrix& b) {
   require(a.cols() == b.cols(), "matmul_bt: inner dimension mismatch");
+  CND_DCHECK_ALL_FINITE(a, "matmul_bt: lhs has non-finite elements");
+  CND_DCHECK_ALL_FINITE(b, "matmul_bt: rhs has non-finite elements");
   Matrix c(a.rows(), b.rows());
   const std::size_t k = a.cols();
   runtime::parallel_for(0, a.rows(), runtime::grain_for_cost(b.rows() * k),
@@ -147,6 +153,8 @@ Matrix matmul_bt(const Matrix& a, const Matrix& b) {
 
 Matrix matmul_at(const Matrix& a, const Matrix& b) {
   require(a.rows() == b.rows(), "matmul_at: inner dimension mismatch");
+  CND_DCHECK_ALL_FINITE(a, "matmul_at: lhs has non-finite elements");
+  CND_DCHECK_ALL_FINITE(b, "matmul_at: rhs has non-finite elements");
   Matrix c(a.cols(), b.cols());
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
   // Output-row (i) blocked so rows can be distributed; per (i, j) the sum
