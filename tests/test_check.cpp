@@ -1,0 +1,95 @@
+// Unit tests for the CND_CHECK/CND_DCHECK invariant layer (tensor/check.hpp).
+//
+// CND_ENABLE_DCHECKS is defined for this translation unit before the header
+// is included, so the dcheck macros are active here regardless of the build
+// mode — the macro semantics are testable even in a plain Release build.
+// Tests that need the *library* compiled with dchecks (sanitizer/Debug
+// builds) are gated on whether the build set the flag globally.
+#ifdef CND_ENABLE_DCHECKS
+#define CND_LIB_HAS_DCHECKS 1
+#endif
+#ifndef CND_ENABLE_DCHECKS
+#define CND_ENABLE_DCHECKS 1
+#endif
+
+#include "tensor/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+namespace cnd {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Check, CndCheckPassesAndThrows) {
+  EXPECT_NO_THROW(CND_CHECK(1 + 1 == 2, "arithmetic"));
+  EXPECT_THROW(CND_CHECK(false, "must fire"), std::logic_error);
+  try {
+    CND_CHECK(2 < 1, "two is not less than one");
+    FAIL() << "CND_CHECK did not throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("two is not less than one"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("2 < 1"), std::string::npos);
+  }
+}
+
+TEST(Check, DcheckActiveInThisTu) {
+  EXPECT_NO_THROW(CND_DCHECK(true, "fine"));
+  EXPECT_THROW(CND_DCHECK(false, "fires"), std::logic_error);
+}
+
+TEST(Check, DcheckBounds) {
+  const std::size_t i = 3, n = 5;
+  EXPECT_NO_THROW(CND_DCHECK_BOUNDS(i, n));
+  EXPECT_THROW(CND_DCHECK_BOUNDS(n, n), std::logic_error);
+  EXPECT_THROW(CND_DCHECK_BOUNDS(std::size_t{7}, n), std::logic_error);
+}
+
+TEST(Check, DcheckFiniteScalar) {
+  EXPECT_NO_THROW(CND_DCHECK_FINITE(0.0, "zero"));
+  EXPECT_NO_THROW(CND_DCHECK_FINITE(-1e300, "large"));
+  EXPECT_THROW(CND_DCHECK_FINITE(kNan, "nan"), std::logic_error);
+  EXPECT_THROW(CND_DCHECK_FINITE(kInf, "inf"), std::logic_error);
+  EXPECT_THROW(CND_DCHECK_FINITE(-kInf, "-inf"), std::logic_error);
+}
+
+TEST(Check, AllFiniteSpanAndMatrix) {
+  const std::vector<double> ok{0.0, 1.5, -2.5};
+  const std::vector<double> bad{0.0, kNan, 1.0};
+  EXPECT_TRUE(check::all_finite(std::span<const double>(ok)));
+  EXPECT_FALSE(check::all_finite(std::span<const double>(bad)));
+
+  Matrix m(2, 2, 1.0);
+  EXPECT_TRUE(check::all_finite(m));
+  EXPECT_NO_THROW(CND_DCHECK_ALL_FINITE(m, "clean matrix"));
+  m(1, 0) = kInf;
+  EXPECT_FALSE(check::all_finite(m));
+  EXPECT_THROW(CND_DCHECK_ALL_FINITE(m, "poisoned matrix"), std::logic_error);
+}
+
+TEST(Check, EmptyIsVacuouslyFinite) {
+  EXPECT_TRUE(check::all_finite(Matrix()));
+  EXPECT_TRUE(check::all_finite(std::span<const double>()));
+}
+
+#ifdef CND_LIB_HAS_DCHECKS
+// Only meaningful when the cnd libraries themselves were compiled with
+// CND_DCHECKS=ON (Debug / sanitizer builds): the matmul entry guard must
+// reject a poisoned operand before the skip-zero inner loop can mask it.
+TEST(Check, MatmulGuardRejectsNanInHardenedBuild) {
+  Matrix a(4, 4, 1.0);
+  Matrix b(4, 4, 2.0);
+  a(2, 2) = kNan;
+  EXPECT_THROW(matmul(a, b), std::logic_error);
+  EXPECT_THROW(matmul_bt(a, b), std::logic_error);
+  EXPECT_THROW(matmul_at(a, b), std::logic_error);
+}
+#endif
+
+}  // namespace
+}  // namespace cnd
