@@ -9,9 +9,39 @@
 #   bench-binary  defaults to ${BUILD_DIR:-build}/bench/bench_multiseed
 #   bench-args    default to --scale=0.1
 #
-# Exit 0 when every CSV matches across all four runs and the metrics JSONL
-# is well-formed, 1 otherwise.
+# Environment:
+#   BUILD_DIR       Release build directory (default: build)
+#   TSAN_BUILD_DIR  optional: a -DCND_TSAN=ON build directory. The same bench
+#                   binary from that tree is run at CND_THREADS=4 and its CSVs
+#                   are diffed against the Release run — ThreadSanitizer
+#                   instrumentation must not change a single result byte.
+#   FULL_REGISTRY=1 optional: additionally run the two benches that together
+#                   exercise every detector in core::make_detector's registry
+#                   (extended_nd + fig3) at a tiny scale and verify each name
+#                   in DETECTORS below appears in their CSV output.
+#
+# Exit 0 when every comparison matches and the metrics JSONL is well-formed,
+# 1 otherwise.
 set -euo pipefail
+
+# Every registered detector name in core::make_detector (detector_factory.cpp).
+# tools/cnd_lint.py's registry-coverage rule fails the lint build if a
+# detector is added to the factory without being listed here, so this script
+# can never silently fall behind the registry.
+DETECTORS=(
+  "CND-IDS"
+  "ADCN"
+  "LwF"
+  "PCA"
+  "DIF"
+  "GMM"
+  "Maha"
+  "kNN"
+  "HBOS"
+  "AE"
+  "LOF"
+  "OC-SVM"
+)
 
 BUILD_DIR=${BUILD_DIR:-build}
 BENCH=${1:-${BUILD_DIR}/bench/bench_multiseed}
@@ -28,12 +58,18 @@ BENCH=$(readlink -f "${BENCH}")
 WORK=$(mktemp -d)
 trap 'rm -rf "${WORK}"' EXIT
 
+run_bench_at() {
+  local bin=$1 threads=$2 dir=$3
+  shift 3
+  mkdir -p "${dir}"
+  echo "== CND_THREADS=${threads} $(basename "${bin}") ${ARGS[*]} $*"
+  (cd "${dir}" && CND_THREADS=${threads} "${bin}" "${ARGS[@]}" "$@" > stdout.log)
+}
+
 run_at() {
   local threads=$1 dir=$2
   shift 2
-  mkdir -p "${dir}"
-  echo "== CND_THREADS=${threads} $(basename "${BENCH}") ${ARGS[*]} $*"
-  (cd "${dir}" && CND_THREADS=${threads} "${BENCH}" "${ARGS[@]}" "$@" > stdout.log)
+  run_bench_at "${BENCH}" "${threads}" "${dir}" "$@"
 }
 
 # Plain runs, then runs with the observability pipeline fully enabled.
@@ -63,6 +99,32 @@ for f in "${csvs[@]}"; do
   done
 done
 
+# Optional cross-build check: a ThreadSanitizer build must reproduce the
+# Release CSVs byte-for-byte. TSan adds instrumentation and scheduling noise
+# but never changes IEEE arithmetic, so any diff here is a real data race or
+# order dependence that the in-build comparison above could have masked.
+if [ -n "${TSAN_BUILD_DIR:-}" ]; then
+  rel=$(realpath --relative-to="$(readlink -f "${BUILD_DIR}")" "${BENCH}")
+  TSAN_BENCH="${TSAN_BUILD_DIR}/${rel}"
+  if [ ! -x "${TSAN_BENCH}" ]; then
+    echo "FAIL TSAN_BUILD_DIR set but '${TSAN_BENCH}' is missing" >&2
+    echo "  (build first: cmake -B ${TSAN_BUILD_DIR} -S . -DCND_TSAN=ON && cmake --build ${TSAN_BUILD_DIR} -j)" >&2
+    status=1
+  else
+    run_bench_at "$(readlink -f "${TSAN_BENCH}")" 4 "${WORK}/tsan"
+    for f in "${csvs[@]}"; do
+      name=$(basename "${f}")
+      if diff -q "${WORK}/t1/${name}" "${WORK}/tsan/${name}" > /dev/null; then
+        echo "OK   ${name} identical between Release t1 and TSan t4"
+      else
+        echo "FAIL ${name} differs between Release t1 and TSan t4"
+        diff "${WORK}/t1/${name}" "${WORK}/tsan/${name}" | head -10 || true
+        status=1
+      fi
+    done
+  fi
+fi
+
 # The metrics stream itself: non-empty, one JSON object per line, and a
 # closing metrics_snapshot record from the atexit hook.
 for dir in t1m t4m; do
@@ -83,4 +145,30 @@ for dir in t1m t4m; do
     echo "OK   ${dir}/metrics.jsonl well-formed ($(wc -l < "${mfile}") lines)"
   fi
 done
+
+# Optional full-registry sweep: bench_extended_nd + bench_fig3_cl_comparison
+# together exercise all twelve registered detectors; verify every name in
+# DETECTORS shows up in their CSV output so no registry entry goes untested.
+if [ "${FULL_REGISTRY:-0}" = "1" ]; then
+  mkdir -p "${WORK}/reg"
+  for bin in bench_extended_nd bench_fig3_cl_comparison; do
+    if [ ! -x "${BUILD_DIR}/bench/${bin}" ]; then
+      echo "FAIL FULL_REGISTRY=1 but '${BUILD_DIR}/bench/${bin}' is missing"
+      status=1
+      continue
+    fi
+    full=$(readlink -f "${BUILD_DIR}/bench/${bin}")  # resolve before the cd
+    echo "== FULL_REGISTRY ${bin} --scale=0.05"
+    (cd "${WORK}/reg" && CND_THREADS=4 "${full}" --scale=0.05 > "${bin}.log")
+  done
+  for det in "${DETECTORS[@]}"; do
+    if grep -qF "${det}" "${WORK}"/reg/*.csv "${WORK}"/reg/*.log 2> /dev/null; then
+      echo "OK   registry detector '${det}' exercised"
+    else
+      echo "FAIL registry detector '${det}' absent from full-registry run"
+      status=1
+    fi
+  done
+fi
+
 exit ${status}
