@@ -7,16 +7,19 @@ namespace cnd::eval {
 
 class Timer {
  public:
-  Timer() : start_(clock::now()) {}
-  void reset() { start_ = clock::now(); }
+  Timer() : start_(now()) {}
+  void reset() { start_ = now(); }
 
   /// Elapsed milliseconds since construction or last reset().
   double elapsed_ms() const {
-    return std::chrono::duration<double, std::milli>(clock::now() - start_).count();
+    return std::chrono::duration<double, std::milli>(now() - start_).count();
   }
 
  private:
   using clock = std::chrono::steady_clock;
+  // Table IV reports wall-clock fit/infer overhead, so this header is a
+  // sanctioned measurement surface outside src/obs.
+  static clock::time_point now() { return clock::now(); }  // cnd-lint: allow(no-clock)
   clock::time_point start_;
 };
 

@@ -1,0 +1,421 @@
+#!/usr/bin/env python3
+"""cnd_lint — repo-specific static checks for the CND-IDS determinism and
+layering contracts (docs/STATIC_ANALYSIS.md).
+
+The parallel runtime promises bit-identical results at any thread count
+(docs/PARALLELISM.md) and the observability layer promises that telemetry
+never perturbs results (docs/OBSERVABILITY.md). Those contracts are easy to
+break with one stray `std::rand()`, clock read, or unordered-container
+iteration feeding an output file. This tool makes the conventions
+machine-checked:
+
+  no-raw-rng        All randomness flows through cnd::Rng (src/tensor/rng.*).
+                    std::rand/srand/std::random_device/raw std::mt19937 are
+                    banned everywhere else; random_device and time-based
+                    seeding break run-to-run reproducibility.
+  no-clock          Clock reads live in src/obs only. Timing anywhere else
+                    either belongs in the observability layer or is a
+                    measurement surface that needs an explicit allow.
+  no-unordered-iter Iterating std::unordered_{map,set} has unspecified order;
+                    anything that feeds CSV/JSONL output or score ordering
+                    must iterate a deterministically ordered container.
+  no-float          float arithmetic in the bit-exactness layers (src/tensor,
+                    src/linalg, src/nn, src/runtime) — the determinism
+                    contract is stated for double accumulation; a float
+                    reduction reorders rounding differently per platform.
+  no-banned-fn      sprintf/strcpy/atoi-family: unbounded or silently
+                    truncating C calls with safer repo idioms.
+  include-hygiene   No "../" includes, no <bits/...>, first-party headers
+                    included with quotes ("layer/header.hpp"), not <>.
+  layering          src/<layer> files include only from layers at or below
+                    them in the dependency order declared in src/CMakeLists.
+  registry-coverage tools/check_determinism.sh must name every detector
+                    registered in core::make_detector, so the end-to-end
+                    determinism check cannot silently skip a detector.
+
+Escape hatch: append `// cnd-lint: allow(<rule>[, <rule>...])` to the
+offending line (or the line directly above it) with a short justification.
+
+Usage:
+  cnd_lint.py --root <repo-root>     lint the tree (exit 1 on findings)
+  cnd_lint.py --self-test            run the known-good/known-bad corpus
+  cnd_lint.py --root . --list-rules  print the rule table
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass
+
+# --- rule table ---------------------------------------------------------------
+
+RULES = {
+    "no-raw-rng": "raw RNG outside the cnd::Rng seed plumbing (src/tensor/rng.*)",
+    "no-clock": "clock read outside src/obs",
+    "no-unordered-iter": "iteration over an unordered container (unspecified order)",
+    "no-float": "float arithmetic in a bit-exactness layer (use double)",
+    "no-banned-fn": "banned C function (unbounded/truncating)",
+    "include-hygiene": "non-canonical #include form",
+    "layering": "include crosses the layer dependency order upward",
+    "registry-coverage": "check_determinism.sh misses a registered detector",
+}
+
+# Directories scanned in tree mode, relative to the repo root.
+SCAN_DIRS = ("src", "bench", "tests", "tools", "examples")
+SOURCE_EXTS = (".cpp", ".hpp", ".h", ".cc")
+
+# Layer dependency order, mirroring the target graph in src/CMakeLists.txt.
+# A file in src/<layer>/ may include first-party headers only from layers in
+# its set (plus its own layer).
+LAYER_DEPS = {
+    "obs": set(),
+    "runtime": {"obs"},
+    "tensor": {"runtime", "obs"},
+    "linalg": {"tensor", "runtime", "obs"},
+    "nn": {"linalg", "tensor", "runtime", "obs"},
+    "ml": {"nn", "linalg", "tensor", "runtime", "obs"},
+    "data": {"ml", "nn", "linalg", "tensor", "runtime", "obs"},
+    "eval": {"tensor", "runtime", "obs"},
+    "core": {"eval", "data", "ml", "nn", "linalg", "tensor", "runtime", "obs"},
+    "io": {"core", "eval", "data", "ml", "nn", "linalg", "tensor", "runtime", "obs"},
+    "baselines": {"core", "eval", "data", "ml", "nn", "linalg", "tensor",
+                  "runtime", "obs"},
+}
+# cnd_factory spans core+baselines by design (see src/CMakeLists.txt); its
+# sources live in src/core but may reach into baselines.
+LAYERING_EXTRA = {
+    "src/core/detector_factory.cpp": {"baselines"},
+    "src/core/detector_factory.hpp": {"baselines"},
+}
+
+# Files where float arithmetic violates the bit-exactness contract.
+FLOAT_BANNED_PREFIXES = ("src/tensor/", "src/linalg/", "src/nn/", "src/runtime/")
+
+# The documented seed plumbing: the only place raw engines may appear.
+RAW_RNG_ALLOWED = ("src/tensor/rng.hpp", "src/tensor/rng.cpp")
+
+# The only directory that may read clocks without an explicit allow.
+CLOCK_ALLOWED_PREFIXES = ("src/obs/",)
+
+RE_RAW_RNG = re.compile(
+    r"std\s*::\s*rand\b|\bsrand\s*\(|\brandom_device\b|std\s*::\s*(mt19937|minstd_rand|ranlux)"
+)
+RE_CLOCK = re.compile(
+    # `\w*clock` also catches type aliases like `using clock = steady_clock`.
+    r"\b\w*clock\s*::\s*now\b"
+    r"|\bclock_gettime\s*\(|\bgettimeofday\s*\(|\btime\s*\(\s*(NULL|nullptr|0)?\s*\)"
+    r"|\bclock\s*\(\s*\)"
+)
+RE_UNORDERED_DECL = re.compile(
+    r"std\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<[^;{]*>\s*[&*]*\s*(\w+)"
+)
+# Range-for only: the colon must not be part of a `::`, and a classic
+# three-clause for contains `;` so the lazy prefix can never reach its colon.
+RE_RANGE_FOR = re.compile(r"\bfor\s*\([^;()]*?(?<!:):(?!:)\s*([^)]+)\)")
+RE_FLOAT = re.compile(r"\bfloat\b")
+RE_BANNED_FN = re.compile(
+    r"\b(sprintf|vsprintf|strcpy|strcat|gets|tmpnam|atoi|atol|atof|asctime|ctime)\s*\("
+)
+RE_INCLUDE = re.compile(r'^\s*#\s*include\s+(<[^>]+>|"[^"]+")')
+RE_ALLOW = re.compile(r"cnd-lint:\s*allow\(([^)]*)\)")
+RE_EXPECT = re.compile(r"cnd-lint-expect:\s*([\w,\s-]+)")
+RE_VPATH = re.compile(r"cnd-lint-path:\s*(\S+)")
+RE_FACTORY_ADD = re.compile(r'\badd\("([^"]+)"')
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_code(lines: list[str]) -> list[str]:
+    """Return lines with comments and string/char literals blanked out, so
+    rule regexes never fire on prose or literal text. Annotations are read
+    from the raw lines before this runs."""
+    out = []
+    in_block = False
+    for raw in lines:
+        # Preprocessor lines keep their quoted text: `#include "x.hpp"` must
+        # survive for the include rules.
+        preproc = not in_block and raw.lstrip().startswith("#")
+        buf = []
+        i = 0
+        n = len(raw)
+        while i < n:
+            c = raw[i]
+            nxt = raw[i + 1] if i + 1 < n else ""
+            if in_block:
+                if c == "*" and nxt == "/":
+                    in_block = False
+                    i += 2
+                else:
+                    i += 1
+                continue
+            if c == "/" and nxt == "/":
+                break  # line comment: drop the rest
+            if c == "/" and nxt == "*":
+                in_block = True
+                i += 2
+                continue
+            if c in ('"', "'"):
+                quote = c
+                start = i
+                i += 1
+                while i < n:
+                    if raw[i] == "\\":
+                        i += 2
+                        continue
+                    if raw[i] == quote:
+                        i += 1
+                        break
+                    i += 1
+                if preproc:
+                    buf.append(raw[start:i])  # keep include targets intact
+                else:
+                    buf.append(quote + quote)  # empty literal placeholder
+                continue
+            buf.append(c)
+            i += 1
+        out.append("".join(buf))
+    return out
+
+
+def allows_for_line(raw_lines: list[str], idx: int) -> set[str]:
+    """Rules allowed for raw_lines[idx] via same-line or previous-line
+    `// cnd-lint: allow(...)` annotations."""
+    allowed: set[str] = set()
+    for look in (idx, idx - 1):
+        if 0 <= look < len(raw_lines):
+            m = RE_ALLOW.search(raw_lines[look])
+            if m:
+                allowed.update(r.strip() for r in m.group(1).split(","))
+    return allowed
+
+
+def layer_of(vpath: str) -> str | None:
+    parts = vpath.split("/")
+    if len(parts) >= 3 and parts[0] == "src" and parts[1] in LAYER_DEPS:
+        return parts[1]
+    return None
+
+
+def lint_file(vpath: str, text: str) -> list[Finding]:
+    """Lint one file's contents as if it lived at repo-relative `vpath`."""
+    raw_lines = text.splitlines()
+    code = strip_code(raw_lines)
+    findings: list[Finding] = []
+
+    def report(idx: int, rule: str, message: str) -> None:
+        if rule not in allows_for_line(raw_lines, idx):
+            findings.append(Finding(vpath, idx + 1, rule, message))
+
+    # Per-file context for the unordered-iteration rule.
+    unordered_names: set[str] = set()
+    for line in code:
+        for m in RE_UNORDERED_DECL.finditer(line):
+            unordered_names.add(m.group(1))
+
+    layer = layer_of(vpath)
+    allowed_layers = None
+    if layer is not None:
+        allowed_layers = {layer} | LAYER_DEPS[layer] | LAYERING_EXTRA.get(vpath, set())
+
+    raw_rng_exempt = vpath in RAW_RNG_ALLOWED
+    clock_exempt = vpath.startswith(CLOCK_ALLOWED_PREFIXES)
+    float_banned = vpath.startswith(FLOAT_BANNED_PREFIXES)
+
+    for idx, line in enumerate(code):
+        if not raw_rng_exempt and RE_RAW_RNG.search(line):
+            report(idx, "no-raw-rng",
+                   "raw RNG primitive; derive a stream from cnd::Rng instead")
+
+        if not clock_exempt and RE_CLOCK.search(line):
+            report(idx, "no-clock",
+                   "clock read outside src/obs; route timing through the "
+                   "observability layer")
+
+        if RE_BANNED_FN.search(line):
+            fn = RE_BANNED_FN.search(line).group(1)
+            report(idx, "no-banned-fn", f"'{fn}' is banned; use the bounded/"
+                   "checked alternative (snprintf, strtol/stod, std::string)")
+
+        if float_banned and RE_FLOAT.search(line):
+            report(idx, "no-float",
+                   "float in a bit-exactness layer; the determinism contract "
+                   "is stated for double accumulation")
+
+        m = RE_RANGE_FOR.search(line)
+        if m:
+            seq = m.group(1).strip()
+            seq_id = re.sub(r"[&*\s]|const ", "", seq)
+            if "unordered_" in seq or seq_id in unordered_names:
+                report(idx, "no-unordered-iter",
+                       f"iteration over unordered container '{seq}' has "
+                       "unspecified order; use a sorted/ordered container or "
+                       "sort before emitting")
+
+        inc = RE_INCLUDE.match(line)
+        if inc:
+            tok = inc.group(1)
+            target = tok[1:-1]
+            if "../" in target:
+                report(idx, "include-hygiene",
+                       "parent-relative include; include repo headers by "
+                       "their src-rooted path")
+            if target.startswith("bits/"):
+                report(idx, "include-hygiene",
+                       "libstdc++ internal header <bits/...>")
+            first_party = layer_of("src/" + target) is not None
+            if tok.startswith("<") and first_party:
+                report(idx, "include-hygiene",
+                       f"first-party header <{target}> must use quotes")
+            if tok.startswith('"') and allowed_layers is not None:
+                inc_layer = layer_of("src/" + target)
+                if inc_layer is not None and inc_layer not in allowed_layers:
+                    report(idx, "layering",
+                           f"src/{layer} must not include from src/{inc_layer} "
+                           "(layer order: see src/CMakeLists.txt and "
+                           "docs/STATIC_ANALYSIS.md)")
+
+    return findings
+
+
+def check_registry_coverage(root: str) -> list[Finding]:
+    """Every detector name registered in core::make_detector must appear in
+    tools/check_determinism.sh, so the end-to-end determinism check can
+    exercise the full registry."""
+    factory = os.path.join(root, "src/core/detector_factory.cpp")
+    script = os.path.join(root, "tools/check_determinism.sh")
+    findings: list[Finding] = []
+    try:
+        with open(factory, encoding="utf-8") as f:
+            names = RE_FACTORY_ADD.findall(f.read())
+    except OSError as e:
+        return [Finding("src/core/detector_factory.cpp", 1, "registry-coverage",
+                        f"cannot read detector registry: {e}")]
+    try:
+        with open(script, encoding="utf-8") as f:
+            script_text = f.read()
+    except OSError as e:
+        return [Finding("tools/check_determinism.sh", 1, "registry-coverage",
+                        f"cannot read determinism script: {e}")]
+    if not names:
+        findings.append(Finding("src/core/detector_factory.cpp", 1,
+                                "registry-coverage",
+                                "no registered detectors found (parser drift?)"))
+    for name in names:
+        if name not in script_text:
+            findings.append(Finding(
+                "tools/check_determinism.sh", 1, "registry-coverage",
+                f"registered detector '{name}' is not covered by "
+                "check_determinism.sh"))
+    return findings
+
+
+def iter_tree_files(root: str):
+    skip_dir = os.path.join("tools", "lint_selftest")
+    for d in SCAN_DIRS:
+        base = os.path.join(root, d)
+        for dirpath, dirnames, filenames in os.walk(base):
+            if os.path.relpath(dirpath, root).startswith(skip_dir):
+                dirnames[:] = []
+                continue
+            for fn in sorted(filenames):
+                if fn.endswith(SOURCE_EXTS):
+                    full = os.path.join(dirpath, fn)
+                    yield os.path.relpath(full, root).replace(os.sep, "/"), full
+
+
+def lint_tree(root: str) -> list[Finding]:
+    findings: list[Finding] = []
+    for vpath, full in iter_tree_files(root):
+        with open(full, encoding="utf-8") as f:
+            findings.extend(lint_file(vpath, f.read()))
+    findings.extend(check_registry_coverage(root))
+    return findings
+
+
+def run_self_test(root: str) -> int:
+    """Corpus check: every file under tools/lint_selftest/good lints clean;
+    every file under tools/lint_selftest/bad trips exactly the rules named in
+    its `// cnd-lint-expect:` header. Files choose the path rules see via
+    `// cnd-lint-path:` (defaults to src/core/<filename>)."""
+    corpus = os.path.join(root, "tools", "lint_selftest")
+    failures = 0
+    cases = 0
+    for kind in ("good", "bad"):
+        base = os.path.join(corpus, kind)
+        if not os.path.isdir(base):
+            print(f"self-test: missing corpus directory {base}", file=sys.stderr)
+            return 1
+        for fn in sorted(os.listdir(base)):
+            if not fn.endswith(SOURCE_EXTS):
+                continue
+            cases += 1
+            full = os.path.join(base, fn)
+            with open(full, encoding="utf-8") as f:
+                text = f.read()
+            mpath = RE_VPATH.search(text)
+            vpath = mpath.group(1) if mpath else f"src/core/{fn}"
+            got = {f.rule for f in lint_file(vpath, text)}
+            if kind == "good":
+                if got:
+                    print(f"SELF-TEST FAIL {fn}: expected clean, got {sorted(got)}")
+                    failures += 1
+            else:
+                mexp = RE_EXPECT.search(text)
+                expected = ({r.strip() for r in mexp.group(1).split(",")}
+                            if mexp else set())
+                if not expected:
+                    print(f"SELF-TEST FAIL {fn}: bad-corpus file lacks "
+                          "a cnd-lint-expect header")
+                    failures += 1
+                elif got != expected:
+                    print(f"SELF-TEST FAIL {fn}: expected {sorted(expected)}, "
+                          f"got {sorted(got)}")
+                    failures += 1
+    if failures:
+        print(f"self-test: {failures} of {cases} corpus cases failed")
+        return 1
+    print(f"self-test: all {cases} corpus cases behaved as expected")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=".", help="repository root to lint")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the lint_selftest corpus instead of the tree")
+    ap.add_argument("--list-rules", action="store_true")
+    args = ap.parse_args()
+
+    if args.list_rules:
+        for rule, desc in RULES.items():
+            print(f"{rule:18} {desc}")
+        return 0
+
+    root = os.path.abspath(args.root)
+    if args.self_test:
+        return run_self_test(root)
+
+    findings = lint_tree(root)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"cnd_lint: {len(findings)} finding(s)")
+        return 1
+    print("cnd_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

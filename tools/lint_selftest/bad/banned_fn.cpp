@@ -1,0 +1,16 @@
+// cnd-lint self-test corpus (known-bad).
+// cnd-lint-expect: no-banned-fn
+// cnd-lint-path: src/io/banned_fn.cpp
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace cnd {
+
+int parse_and_format(char* dst, const char* src) {
+  strcpy(dst, src);
+  sprintf(dst, "%d", 42);
+  return atoi(src);
+}
+
+}  // namespace cnd

@@ -1,0 +1,10 @@
+// cnd-lint self-test corpus (known-bad).
+// cnd-lint-expect: include-hygiene
+// cnd-lint-path: src/core/include_hygiene.cpp
+#include "../tensor/matrix.hpp"
+#include <bits/stdc++.h>
+#include <tensor/rng.hpp>
+
+namespace cnd {
+int unused() { return 0; }
+}  // namespace cnd

@@ -1,0 +1,13 @@
+// cnd-lint self-test corpus (known-bad).
+// cnd-lint-expect: layering
+// cnd-lint-path: src/tensor/layering.cpp
+#include "nn/linear.hpp"
+#include "tensor/matrix.hpp"
+
+namespace cnd {
+
+// src/tensor sits below src/nn in the dependency order; reaching up inverts
+// the layer graph declared in src/CMakeLists.txt.
+int upward_dependency() { return 1; }
+
+}  // namespace cnd

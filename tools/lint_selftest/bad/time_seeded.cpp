@@ -1,0 +1,12 @@
+// cnd-lint self-test corpus (known-bad): the classic time-seeded RNG trips
+// both the RNG rule and the clock rule.
+// cnd-lint-expect: no-raw-rng, no-clock
+// cnd-lint-path: src/data/time_seeded.cpp
+#include <cstdlib>
+#include <ctime>
+
+namespace cnd {
+
+void seed_from_wall_clock() { std::srand(static_cast<unsigned>(time(nullptr))); }
+
+}  // namespace cnd

@@ -1,0 +1,19 @@
+// cnd-lint self-test corpus: the documented seed plumbing may own a raw
+// engine — this path is the one exemption for no-raw-rng.
+// cnd-lint-path: src/tensor/rng.hpp
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace cnd {
+
+class FakeRng {
+ public:
+  explicit FakeRng(std::uint64_t seed) : engine_(seed) {}
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace cnd
