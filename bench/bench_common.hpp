@@ -118,6 +118,24 @@ inline void enable_metrics_output(const std::string& path, const BenchOptions& o
 /// the JSONL file sink.
 inline BenchOptions parse_options(int argc, char** argv) {
   BenchOptions o;
+#ifdef CND_SANITIZER_BUILD
+  // Sanitizer instrumentation inflates wall-clock by 2-20x: timings from
+  // this binary must never land in a BENCH_*.json artifact. Refuse the
+  // google-benchmark JSON/console output flags outright and announce the
+  // mode, so a sanitizer run can only ever be a correctness run.
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--benchmark_out", 0) == 0 ||
+        a.rfind("--benchmark_format", 0) == 0)
+      throw std::invalid_argument(
+          "bench: refusing '" + a +
+          "' in a sanitizer build; timing artifacts (BENCH_*.json) must "
+          "come from a plain Release build");
+  }
+  std::fprintf(stderr,
+               "bench: sanitizer build (CND_SANITIZER_BUILD) — correctness "
+               "run only, timings are not representative\n");
+#endif
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a.rfind("--scale=", 0) == 0) {
