@@ -1,10 +1,20 @@
-// Micro-benchmarks of the substrate hot paths: dense matmul, Jacobi
-// eigendecomposition, a K-Means Lloyd pass, one autoencoder training epoch,
-// and PCA FRE scoring throughput. These bound the cost model for every
-// experiment bench in this repository.
+// Micro-benchmarks of the substrate hot paths: dense matmul (all three
+// transpose variants), Jacobi eigendecomposition, fused pairwise distances,
+// a K-Means Lloyd pass, one autoencoder training epoch, and PCA FRE scoring
+// throughput. These bound the cost model for every experiment bench in this
+// repository.
+//
+// Besides benchmarking, the binary doubles as a determinism probe:
+// `--dump-kernels=<path>` writes fixed-seed outputs of every blocked kernel
+// to a CSV and exits, so tools/check_determinism.sh can diff the bytes
+// across thread counts and sanitizer builds.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+
 #include "bench_common.hpp"
+#include "linalg/distance.hpp"
 #include "linalg/eigen.hpp"
 #include "ml/kmeans.hpp"
 #include "ml/pca.hpp"
@@ -25,14 +35,53 @@ Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
   return m;
 }
 
+// 2mnk-flop rate counter shared by the GEMM-shaped benches.
+void set_gflops(benchmark::State& state, std::size_t m, std::size_t n,
+                std::size_t k) {
+  state.counters["GFLOPS"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 *
+          static_cast<double>(m * n * k),
+      benchmark::Counter::kIsRate);
+}
+
 void BM_Matmul(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   Matrix a = random_matrix(n, n, 1);
   Matrix b = random_matrix(n, n, 2);
   for (auto _ : state) benchmark::DoNotOptimize(matmul(a, b));
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n * n * n));
+  set_gflops(state, n, n, n);
 }
-BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_MatmulBt(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Matrix a = random_matrix(n, n, 1);
+  Matrix b = random_matrix(n, n, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(matmul_bt(a, b));
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n * n * n));
+  set_gflops(state, n, n, n);
+}
+BENCHMARK(BM_MatmulBt)->Arg(256);
+
+void BM_MatmulAt(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Matrix a = random_matrix(n, n, 1);
+  Matrix b = random_matrix(n, n, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(matmul_at(a, b));
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n * n * n));
+  set_gflops(state, n, n, n);
+}
+BENCHMARK(BM_MatmulAt)->Arg(256);
+
+void BM_PairwiseDist(benchmark::State& state) {
+  Matrix a = random_matrix(2048, 48, 10);
+  Matrix b = random_matrix(1024, 48, 11);
+  for (auto _ : state) benchmark::DoNotOptimize(linalg::pairwise_dist(a, b));
+  state.SetItemsProcessed(state.iterations() * (2048 * 1024));
+  set_gflops(state, 2048, 1024, 48);
+}
+BENCHMARK(BM_PairwiseDist)->Unit(benchmark::kMillisecond);
 
 void BM_JacobiEigen(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -87,12 +136,67 @@ void BM_PcaFreScore(benchmark::State& state) {
 }
 BENCHMARK(BM_PcaFreScore)->Unit(benchmark::kMillisecond);
 
+// ---- Kernel determinism dump -----------------------------------------------
+//
+// Fixed-seed outputs of every blocked kernel, printed with %.17g (enough to
+// round-trip a double exactly). Byte-identical files across CND_THREADS
+// values and sanitizer builds are the accumulation-order contract made
+// observable; tools/check_determinism.sh diffs them.
+
+int dump_kernels(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "bench_micro_substrate: cannot open '%s'\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "case,index,value\n");
+  std::size_t line = 0;
+  auto dump_matrix = [&](const char* name, const Matrix& m) {
+    for (std::size_t i = 0; i < m.size(); ++i)
+      std::fprintf(f, "%s,%zu,%.17g\n", name, line++, m.data()[i]);
+  };
+
+  // k = 300 straddles the kKc = 256 panel boundary; the other dimensions
+  // straddle the register tiles.
+  const Matrix a = random_matrix(37, 300, 11);
+  const Matrix b = random_matrix(300, 29, 12);
+  dump_matrix("matmul", matmul(a, b));
+  dump_matrix("matmul_bt", matmul_bt(a, random_matrix(23, 300, 13)));
+  dump_matrix("matmul_at", matmul_at(random_matrix(300, 19, 14), b));
+  dump_matrix("pairwise_dist",
+              linalg::pairwise_dist(random_matrix(57, 13, 15),
+                                    random_matrix(41, 13, 16)));
+
+  const Matrix x = random_matrix(80, 9, 17);
+  const auto nn = linalg::knn(x, x, 5, /*exclude_self=*/true);
+  for (std::size_t i = 0; i < x.rows(); ++i)
+    for (std::size_t j = 0; j < 5; ++j) {
+      std::fprintf(f, "knn,%zu,%zu\n", line++, nn.indices[i][j]);
+      std::fprintf(f, "knn,%zu,%.17g\n", line++, nn.distances[i][j]);
+    }
+
+  std::fclose(f);
+  return 0;
+}
+
 }  // namespace
 
 // Custom main: accept the shared harness flags (notably --threads, which
 // matters most here), strip them, then hand argv to google-benchmark.
+// --dump-kernels short-circuits the benchmarks entirely.
 int main(int argc, char** argv) {
+  std::string dump_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--dump-kernels=", 0) == 0) {
+      dump_path = arg.substr(std::string("--dump-kernels=").size());
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
   cnd::bench::parse_options(argc, argv);
+  if (!dump_path.empty()) return dump_kernels(dump_path);
   cnd::bench::strip_harness_flags(argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

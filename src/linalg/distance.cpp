@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
+#include <utility>
 
 #include "runtime/parallel_for.hpp"
 #include "tensor/assert.hpp"
@@ -10,19 +10,52 @@
 
 namespace cnd::linalg {
 
-Matrix pairwise_dist(const Matrix& a, const Matrix& b) {
-  require(a.cols() == b.cols(), "pairwise_dist: feature mismatch");
-  CND_DCHECK_ALL_FINITE(a, "pairwise_dist: lhs has non-finite elements");
-  CND_DCHECK_ALL_FINITE(b, "pairwise_dist: rhs has non-finite elements");
-  Matrix d(a.rows(), b.rows());
-  runtime::parallel_for(0, a.rows(),
-                        runtime::grain_for_cost(b.rows() * a.cols()),
+// Norms come from kernels::row_sq_norms — it lives in the kernels
+// translation unit so the norm and the Gram entry for the same row are the
+// same instruction pattern bit-for-bit, making the fused self-distance
+// n + n − 2n exactly 0.0 (see kernels.hpp).
+using kernels::row_sq_norms;
+
+namespace {
+
+// Query rows per Gram block inside knn: bounds the d² scratch to
+// kQueryBlock x ref.rows() regardless of query size. Per-(i, j) values do
+// not depend on the block boundaries, so this is a pure footprint knob.
+constexpr std::size_t kQueryBlock = 64;
+
+}  // namespace
+
+void pairwise_sq_dist_into(Matrix& d2, const Matrix& a, const Matrix& b,
+                           Workspace& ws) {
+  require(a.cols() == b.cols(), "pairwise_sq_dist: feature mismatch");
+  CND_DCHECK_ALL_FINITE(a, "pairwise_sq_dist: lhs has non-finite elements");
+  CND_DCHECK_ALL_FINITE(b, "pairwise_sq_dist: rhs has non-finite elements");
+  auto& na = ws.vec(0, a.rows());
+  auto& nb = ws.vec(1, b.rows());
+  row_sq_norms(a, 0, a.rows(), na);
+  row_sq_norms(b, 0, b.rows(), nb);
+  // The output doubles as the Gram buffer: G = a·bᵀ lands in d2, then the
+  // norms fold in element-wise. max(0, ·) clamps the cancellation when two
+  // rows are (nearly) identical.
+  matmul_bt_into(d2, a, b);
+  runtime::parallel_for(0, a.rows(), runtime::grain_for_cost(b.rows() * 4),
                         [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) {
-      auto ra = a.row(i);
-      for (std::size_t j = 0; j < b.rows(); ++j)
-        d(i, j) = std::sqrt(sq_dist(ra, b.row(j)));
+      auto di = d2.row(i);
+      for (std::size_t j = 0; j < di.size(); ++j)
+        di[j] = std::max(0.0, na[i] + nb[j] - 2.0 * di[j]);
     }
+  });
+}
+
+Matrix pairwise_dist(const Matrix& a, const Matrix& b) {
+  Workspace ws;
+  Matrix d;
+  pairwise_sq_dist_into(d, a, b, ws);
+  runtime::parallel_for(0, d.rows(), runtime::grain_for_cost(d.cols() * 8),
+                        [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i)
+      for (double& v : d.row(i)) v = std::sqrt(v);
   });
   return d;
 }
@@ -30,44 +63,66 @@ Matrix pairwise_dist(const Matrix& a, const Matrix& b) {
 Knn knn(const Matrix& query, const Matrix& ref, std::size_t k, bool exclude_self) {
   require(query.cols() == ref.cols(), "knn: feature mismatch");
   require(k > 0, "knn: k must be > 0");
-  // NaN distances make partial_sort's strict-weak ordering undefined, which
-  // would silently scramble neighbour lists.
+  // NaN distances have no place in an ordering; catch them before they
+  // silently scramble neighbour lists.
   CND_DCHECK_ALL_FINITE(query, "knn: query has non-finite elements");
   CND_DCHECK_ALL_FINITE(ref, "knn: reference has non-finite elements");
+  require(!exclude_self || &query == &ref,
+          "knn: exclude_self requires query and ref to be the same matrix");
   const std::size_t avail = ref.rows() - (exclude_self ? 1 : 0);
   require(k <= avail, "knn: k larger than reference set");
+
+  std::vector<double> nref;
+  row_sq_norms(ref, 0, ref.rows(), nref);
 
   Knn out;
   out.indices.resize(query.rows());
   out.distances.resize(query.rows());
 
-  // Queries are independent; each chunk carries its own candidate scratch.
+  // Queries are independent; each chunk carries its own Gram/heap scratch,
+  // reused across its fixed-size query blocks. Candidates are totally
+  // ordered by (d², index), so the k survivors — and therefore the output —
+  // are a deterministic function of the values alone, independent of heap
+  // mechanics, block boundaries, and thread count.
   runtime::parallel_for(0, query.rows(),
                         runtime::grain_for_cost(ref.rows() * query.cols()),
                         [&](std::size_t lo, std::size_t hi) {
-    std::vector<std::pair<double, std::size_t>> cand(ref.rows());
-    for (std::size_t i = lo; i < hi; ++i) {
-      auto q = query.row(i);
-      for (std::size_t j = 0; j < ref.rows(); ++j)
-        cand[j] = {sq_dist(q, ref.row(j)), j};
-      std::size_t skip = exclude_self ? 1 : 0;
-      std::partial_sort(cand.begin(),
-                        cand.begin() + static_cast<std::ptrdiff_t>(k + skip),
-                        cand.end());
-      auto& idx = out.indices[i];
-      auto& dst = out.distances[i];
-      idx.reserve(k);
-      dst.reserve(k);
-      for (std::size_t j = 0; j < k + skip && idx.size() < k; ++j) {
-        if (exclude_self && cand[j].second == i && cand[j].first == 0.0) continue;
-        idx.push_back(cand[j].second);
-        dst.push_back(std::sqrt(cand[j].first));
-      }
-      // If the self-match was not at distance zero duplicated, we may still
-      // need one more neighbour.
-      for (std::size_t j = k + skip; idx.size() < k && j < cand.size(); ++j) {
-        idx.push_back(cand[j].second);
-        dst.push_back(std::sqrt(cand[j].first));
+    Workspace ws;
+    std::vector<double> nq;
+    // Bounded size-k max-heap (std::*_heap with the default pair ordering:
+    // the root is the current worst survivor).
+    std::vector<std::pair<double, std::size_t>> heap;
+    heap.reserve(k);
+    for (std::size_t q0 = lo; q0 < hi; q0 += kQueryBlock) {
+      const std::size_t q1 = std::min(hi, q0 + kQueryBlock);
+      Matrix& g = ws.mat(0, q1 - q0, ref.rows());
+      matmul_bt_rows_into(g, query, q0, q1, ref);
+      row_sq_norms(query, q0, q1, nq);
+      for (std::size_t i = q0; i < q1; ++i) {
+        auto gr = g.row(i - q0);
+        heap.clear();
+        for (std::size_t j = 0; j < ref.rows(); ++j) {
+          if (exclude_self && j == i) continue;
+          const double d2 = std::max(0.0, nq[i - q0] + nref[j] - 2.0 * gr[j]);
+          const std::pair<double, std::size_t> cand{d2, j};
+          if (heap.size() < k) {
+            heap.push_back(cand);
+            std::push_heap(heap.begin(), heap.end());
+          } else if (cand < heap.front()) {
+            std::pop_heap(heap.begin(), heap.end());
+            heap.back() = cand;
+            std::push_heap(heap.begin(), heap.end());
+          }
+        }
+        std::sort(heap.begin(), heap.end());
+        auto& idx = out.indices[i];
+        auto& dst = out.distances[i];
+        idx.resize(k);
+        dst.resize(k);
+        for (std::size_t j = 0; j < k; ++j) {
+          idx[j] = heap[j].second;
+          dst[j] = std::sqrt(heap[j].first);
+        }
       }
     }
   });

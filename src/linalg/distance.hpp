@@ -2,22 +2,35 @@
 //
 // LOF, K-Means diagnostics, and the triplet miner all need distances; at the
 // dataset sizes this repository runs (tens of thousands of rows, tens of
-// features) brute force is the right tool.
+// features) brute force is the right tool. The distance computation itself
+// is GEMM-shaped: d²(i, j) = ||a_i||² + ||b_j||² − 2·a_i·b_j with the cross
+// term produced by the register-blocked Gram kernel (tensor/kernels.hpp),
+// clamped at 0 against cancellation. Row norms accumulate in the same
+// canonical p-ascending order as the Gram kernel, so a point's distance to
+// itself is exactly 0.0.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "tensor/kernels.hpp"
 #include "tensor/matrix.hpp"
 
 namespace cnd::linalg {
+
+/// Fused squared-distance matrix between rows of a and rows of b, written
+/// into `d2` (resized in place; also serves as the Gram buffer, so the only
+/// extra scratch is the two norm vectors in `ws`). Values are clamped at 0.
+void pairwise_sq_dist_into(Matrix& d2, const Matrix& a, const Matrix& b,
+                           Workspace& ws);
 
 /// Full pairwise Euclidean distance matrix between rows of a and rows of b.
 Matrix pairwise_dist(const Matrix& a, const Matrix& b);
 
 /// Indices (and distances) of the k nearest rows of `ref` for each row of
-/// `query`, excluding exact self-matches when `exclude_self` and the two
-/// matrices are the same object.
+/// `query`, excluding self-matches when `exclude_self` (which requires
+/// query and ref to be the same object). Neighbours are ordered by
+/// ascending distance with deterministic index-ascending tie-breaking.
 struct Knn {
   std::vector<std::vector<std::size_t>> indices;  ///< per query row, size k.
   std::vector<std::vector<double>> distances;     ///< matching Euclidean dists.

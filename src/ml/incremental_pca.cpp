@@ -17,14 +17,24 @@ void IncrementalPca::partial_fit(const Matrix& x) {
   require(x.cols() == mean_.size(), "IncrementalPca::partial_fit: width mismatch");
 
   // Chan et al. pairwise update: merge batch moments into running moments.
+  // Temporaries live in the member workspace so a stream of equally-shaped
+  // batches updates the moments without heap traffic.
   const double n_a = static_cast<double>(n_);
   const double n_b = static_cast<double>(x.rows());
-  auto mean_b = col_mean(x);
-  Matrix centered = sub_rowvec(x, mean_b);
-  Matrix m2_b = matmul_at(centered, centered);
+  auto& mean_b = ws_.vec(0, x.cols());
+  std::fill(mean_b.begin(), mean_b.end(), 0.0);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    auto r = x.row(i);
+    for (std::size_t j = 0; j < x.cols(); ++j) mean_b[j] += r[j];
+  }
+  for (double& v : mean_b) v /= n_b;
+  Matrix& centered = ws_.mat(0, x.rows(), x.cols());
+  sub_rowvec_into(centered, x, mean_b);
+  Matrix& m2_b = ws_.mat(1, x.cols(), x.cols());
+  matmul_at_into(m2_b, centered, centered);
 
   const double n_ab = n_a + n_b;
-  std::vector<double> delta(mean_.size());
+  auto& delta = ws_.vec(1, mean_.size());
   for (std::size_t j = 0; j < mean_.size(); ++j) delta[j] = mean_b[j] - mean_[j];
 
   comoment_ += m2_b;
@@ -92,10 +102,25 @@ Matrix IncrementalPca::transform(const Matrix& x) const {
 }
 
 std::vector<double> IncrementalPca::score(const Matrix& x) const {
+  Workspace ws;
+  std::vector<double> out;
+  score_into(x, out, ws);
+  return out;
+}
+
+void IncrementalPca::score_into(const Matrix& x, std::vector<double>& out,
+                                Workspace& ws) const {
   require(refreshed_, "IncrementalPca::score: refresh() not called");
-  const Matrix l = transform(x);
-  Matrix recon = matmul_bt(l, components_);
-  std::vector<double> out(x.rows());
+  require(x.cols() == basis_mean_.size(), "IncrementalPca::score: width mismatch");
+  // Same operation sequence as transform() + the naive score loop, through
+  // workspace buffers — scores are bit-identical to score().
+  Matrix& centered = ws.mat(0, x.rows(), x.cols());
+  sub_rowvec_into(centered, x, basis_mean_);
+  Matrix& l = ws.mat(1, x.rows(), components_.cols());
+  matmul_into(l, centered, components_);
+  Matrix& recon = ws.mat(2, x.rows(), x.cols());
+  matmul_bt_into(recon, l, components_);
+  out.resize(x.rows());
   for (std::size_t i = 0; i < x.rows(); ++i) {
     auto rr = recon.row(i);
     auto xr = x.row(i);
@@ -106,7 +131,6 @@ std::vector<double> IncrementalPca::score(const Matrix& x) const {
     }
     out[i] = s;
   }
-  return out;
 }
 
 }  // namespace cnd::ml

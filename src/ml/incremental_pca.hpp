@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "ml/pca.hpp"
+#include "tensor/kernels.hpp"
 #include "tensor/matrix.hpp"
 
 namespace cnd::ml {
@@ -30,6 +31,11 @@ class IncrementalPca {
   /// partial_fit to be up to date; scores against the last refreshed basis).
   std::vector<double> score(const Matrix& x) const;
 
+  /// Allocation-free FRE scoring through `ws` (same values as score(),
+  /// bit-for-bit); steady-state calls at a fixed batch shape touch the heap
+  /// zero times.
+  void score_into(const Matrix& x, std::vector<double>& out, Workspace& ws) const;
+
   Matrix transform(const Matrix& x) const;
 
   std::size_t n_seen() const { return n_; }
@@ -45,6 +51,7 @@ class IncrementalPca {
   std::size_t n_ = 0;
   std::vector<double> mean_;
   Matrix comoment_;  ///< sum of outer products of centered rows.
+  Workspace ws_;     ///< partial_fit scratch; steady batch shapes never allocate.
 
   // Last refreshed basis (mirrors ml::Pca's internals).
   bool refreshed_ = false;

@@ -1,27 +1,63 @@
 #include "ml/kmeans.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
+#include "runtime/parallel_for.hpp"
 #include "tensor/assert.hpp"
+#include "tensor/kernels.hpp"
 
 namespace cnd::ml {
 
+// Norms come from kernels::row_sq_norms — same translation unit (and hence
+// FP-contraction pattern) as the Gram kernel, so a point sitting exactly on
+// a centroid gets a fused distance of exactly 0.0 (see kernels.hpp).
+using kernels::row_sq_norms;
+
 namespace {
 
-std::size_t nearest(const Matrix& centroids, std::span<const double> p,
-                    double* best_d2 = nullptr) {
-  std::size_t best = 0;
-  double bd = std::numeric_limits<double>::infinity();
-  for (std::size_t c = 0; c < centroids.rows(); ++c) {
-    const double d2 = sq_dist(p, centroids.row(c));
-    if (d2 < bd) {
-      bd = d2;
-      best = c;
+// Rows of x per Gram block in the fused nearest-centroid pass; bounds the
+// per-chunk d² scratch to kRowBlock x k regardless of dataset size.
+constexpr std::size_t kRowBlock = 256;
+
+// Fused nearest-centroid pass: blocked Gram product of x row slices against
+// the centroid matrix, d² = ||x||² + ||c||² − 2·x·c clamped at 0, argmin
+// scanning centroids in ascending index with strict < (ties go to the
+// smallest index, matching a scalar linear scan). Fills assign[i] and/or
+// d2_out[i] when non-null. Deterministic at any thread count: each (i, c)
+// value is independent of chunk and block boundaries.
+void assign_nearest(const Matrix& x, const Matrix& cen,
+                    std::vector<std::size_t>* assign,
+                    std::vector<double>* d2_out) {
+  std::vector<double> ncen;
+  row_sq_norms(cen, 0, cen.rows(), ncen);
+  runtime::parallel_for(0, x.rows(),
+                        runtime::grain_for_cost(cen.rows() * x.cols()),
+                        [&](std::size_t lo, std::size_t hi) {
+    Workspace ws;
+    std::vector<double> nx;
+    for (std::size_t b0 = lo; b0 < hi; b0 += kRowBlock) {
+      const std::size_t b1 = std::min(hi, b0 + kRowBlock);
+      Matrix& g = ws.mat(0, b1 - b0, cen.rows());
+      matmul_bt_rows_into(g, x, b0, b1, cen);
+      row_sq_norms(x, b0, b1, nx);
+      for (std::size_t i = b0; i < b1; ++i) {
+        auto gr = g.row(i - b0);
+        std::size_t best = 0;
+        double bd = std::numeric_limits<double>::infinity();
+        for (std::size_t c = 0; c < cen.rows(); ++c) {
+          const double d2 = std::max(0.0, nx[i - b0] + ncen[c] - 2.0 * gr[c]);
+          if (d2 < bd) {
+            bd = d2;
+            best = c;
+          }
+        }
+        if (assign) (*assign)[i] = best;
+        if (d2_out) (*d2_out)[i] = bd;
+      }
     }
-  }
-  if (best_d2) *best_d2 = bd;
-  return best;
+  });
 }
 
 }  // namespace
@@ -30,7 +66,7 @@ void KMeans::fit(const Matrix& x, Rng& rng) {
   require(cfg_.k > 0, "KMeans: k must be > 0");
   require(x.rows() >= cfg_.k, "KMeans: fewer points than clusters");
 
-  // k-means++ seeding.
+  // k-means++ seeding (scalar: k single-centroid sweeps, RNG-coupled).
   centroids_ = Matrix(cfg_.k, x.cols());
   const auto first =
       static_cast<std::size_t>(rng.randint(0, static_cast<std::int64_t>(x.rows()) - 1));
@@ -59,10 +95,10 @@ void KMeans::fit(const Matrix& x, Rng& rng) {
     centroids_.set_row(c, x.row(chosen));
   }
 
-  // Lloyd iterations.
+  // Lloyd iterations; the assignment step is the hot part and runs fused.
   std::vector<std::size_t> assign(x.rows());
   for (std::size_t iter = 0; iter < cfg_.max_iters; ++iter) {
-    for (std::size_t i = 0; i < x.rows(); ++i) assign[i] = nearest(centroids_, x.row(i));
+    assign_nearest(x, centroids_, &assign, nullptr);
 
     Matrix sums(cfg_.k, x.cols());
     std::vector<std::size_t> counts(cfg_.k, 0);
@@ -100,18 +136,17 @@ std::vector<std::size_t> KMeans::predict(const Matrix& x) const {
   require(fitted(), "KMeans::predict: not fitted");
   require(x.cols() == centroids_.cols(), "KMeans::predict: feature mismatch");
   std::vector<std::size_t> out(x.rows());
-  for (std::size_t i = 0; i < x.rows(); ++i) out[i] = nearest(centroids_, x.row(i));
+  assign_nearest(x, centroids_, &out, nullptr);
   return out;
 }
 
 double KMeans::inertia(const Matrix& x) const {
   require(fitted(), "KMeans::inertia: not fitted");
+  require(x.cols() == centroids_.cols(), "KMeans::inertia: feature mismatch");
+  std::vector<double> d2(x.rows());
+  assign_nearest(x, centroids_, nullptr, &d2);
   double total = 0.0;
-  for (std::size_t i = 0; i < x.rows(); ++i) {
-    double d2 = 0.0;
-    nearest(centroids_, x.row(i), &d2);
-    total += d2;
-  }
+  for (double v : d2) total += v;
   return total;
 }
 

@@ -66,11 +66,31 @@ Matrix Pca::inverse_transform(const Matrix& l) const {
 }
 
 std::vector<double> Pca::score(const Matrix& x) const {
-  require(fitted(), "Pca::score: not fitted");
-  const Matrix recon = inverse_transform(transform(x));
-  std::vector<double> s(x.rows());
-  for (std::size_t i = 0; i < x.rows(); ++i) s[i] = sq_dist(x.row(i), recon.row(i));
+  Workspace ws;
+  std::vector<double> s;
+  score_into(x, s, ws);
   return s;
+}
+
+void Pca::transform_into(const Matrix& x, Matrix& out, Workspace& ws) const {
+  require(fitted(), "Pca::transform: not fitted");
+  require(x.cols() == mean_.size(), "Pca::transform: feature mismatch");
+  Matrix& centered = ws.mat(0, x.rows(), x.cols());
+  sub_rowvec_into(centered, x, mean_);
+  matmul_into(out, centered, components_);
+}
+
+void Pca::score_into(const Matrix& x, std::vector<double>& out, Workspace& ws) const {
+  require(fitted(), "Pca::score: not fitted");
+  // Same operation sequence as transform() + inverse_transform() + sq_dist,
+  // just through workspace buffers — scores are bit-identical to score().
+  Matrix& l = ws.mat(1, x.rows(), components_.cols());
+  transform_into(x, l, ws);
+  Matrix& recon = ws.mat(2, x.rows(), x.cols());
+  matmul_bt_into(recon, l, components_);
+  add_rowvec_inplace(recon, mean_);
+  out.resize(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) out[i] = sq_dist(x.row(i), recon.row(i));
 }
 
 }  // namespace cnd::ml

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "tensor/kernels.hpp"
 #include "tensor/matrix.hpp"
 
 namespace cnd::ml {
@@ -38,6 +39,14 @@ class Pca {
 
   /// Feature reconstruction error per row: ||h - T^{-1}(T(h))||^2.
   std::vector<double> score(const Matrix& x) const;
+
+  /// Allocation-free projection: out = (x - mu) W using `ws` for the
+  /// centered temporary. Same values as transform(), bit-for-bit.
+  void transform_into(const Matrix& x, Matrix& out, Workspace& ws) const;
+
+  /// Allocation-free FRE scoring through `ws`; steady-state calls with a
+  /// fixed batch shape touch the heap zero times. Same values as score().
+  void score_into(const Matrix& x, std::vector<double>& out, Workspace& ws) const;
 
   std::size_t n_components() const { return components_.cols(); }
   const std::vector<double>& explained_variance_ratio() const { return evr_; }

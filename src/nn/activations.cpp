@@ -4,68 +4,117 @@
 
 #include "tensor/assert.hpp"
 
+// All three activations are element-wise, so their _into overrides tolerate
+// `&y == &x` / `&grad_in == &grad_out`: each output element depends only on
+// the same-position input element (and the layer's own cache).
+
 namespace cnd::nn {
 
 Matrix ReLU::forward(const Matrix& x, bool train) {
-  if (train) x_cache_ = x;
-  Matrix y = x;
-  for (std::size_t i = 0; i < y.rows(); ++i)
-    for (double& v : y.row(i)) v = v > 0.0 ? v : 0.0;
+  Matrix y;
+  forward_into(x, y, train);
   return y;
 }
 
 Matrix ReLU::backward(const Matrix& grad_out) {
-  require(grad_out.same_shape(x_cache_), "ReLU::backward: shape mismatch");
-  Matrix g = grad_out;
-  for (std::size_t i = 0; i < g.rows(); ++i) {
-    auto gr = g.row(i);
-    auto xr = x_cache_.row(i);
-    for (std::size_t j = 0; j < g.cols(); ++j)
-      if (xr[j] <= 0.0) gr[j] = 0.0;
-  }
+  Matrix g;
+  backward_into(grad_out, g);
   return g;
+}
+
+void ReLU::forward_into(const Matrix& x, Matrix& y, bool train) {
+  if (train) x_cache_ = x;
+  y.resize(x.rows(), x.cols());
+  for (std::size_t i = 0; i < y.rows(); ++i) {
+    auto yr = y.row(i);
+    auto xr = x.row(i);
+    for (std::size_t j = 0; j < y.cols(); ++j) yr[j] = xr[j] > 0.0 ? xr[j] : 0.0;
+  }
+}
+
+void ReLU::backward_into(const Matrix& grad_out, Matrix& grad_in) {
+  require(grad_out.same_shape(x_cache_), "ReLU::backward: shape mismatch");
+  grad_in.resize(grad_out.rows(), grad_out.cols());
+  for (std::size_t i = 0; i < grad_in.rows(); ++i) {
+    auto gr = grad_in.row(i);
+    auto go = grad_out.row(i);
+    auto xr = x_cache_.row(i);
+    for (std::size_t j = 0; j < grad_in.cols(); ++j)
+      gr[j] = xr[j] <= 0.0 ? 0.0 : go[j];
+  }
 }
 
 std::unique_ptr<Layer> ReLU::clone() const { return std::make_unique<ReLU>(); }
 
 Matrix Tanh::forward(const Matrix& x, bool train) {
-  Matrix y = x;
-  for (std::size_t i = 0; i < y.rows(); ++i)
-    for (double& v : y.row(i)) v = std::tanh(v);
-  if (train) y_cache_ = y;
+  Matrix y;
+  forward_into(x, y, train);
   return y;
 }
 
 Matrix Tanh::backward(const Matrix& grad_out) {
-  require(grad_out.same_shape(y_cache_), "Tanh::backward: shape mismatch");
-  Matrix g = grad_out;
-  for (std::size_t i = 0; i < g.rows(); ++i) {
-    auto gr = g.row(i);
-    auto yr = y_cache_.row(i);
-    for (std::size_t j = 0; j < g.cols(); ++j) gr[j] *= 1.0 - yr[j] * yr[j];
-  }
+  Matrix g;
+  backward_into(grad_out, g);
   return g;
+}
+
+void Tanh::forward_into(const Matrix& x, Matrix& y, bool train) {
+  y.resize(x.rows(), x.cols());
+  for (std::size_t i = 0; i < y.rows(); ++i) {
+    auto yr = y.row(i);
+    auto xr = x.row(i);
+    for (std::size_t j = 0; j < y.cols(); ++j) yr[j] = std::tanh(xr[j]);
+  }
+  if (train) y_cache_ = y;
+}
+
+void Tanh::backward_into(const Matrix& grad_out, Matrix& grad_in) {
+  require(grad_out.same_shape(y_cache_), "Tanh::backward: shape mismatch");
+  grad_in.resize(grad_out.rows(), grad_out.cols());
+  for (std::size_t i = 0; i < grad_in.rows(); ++i) {
+    auto gr = grad_in.row(i);
+    auto go = grad_out.row(i);
+    auto yr = y_cache_.row(i);
+    for (std::size_t j = 0; j < grad_in.cols(); ++j)
+      gr[j] = go[j] * (1.0 - yr[j] * yr[j]);
+  }
 }
 
 std::unique_ptr<Layer> Tanh::clone() const { return std::make_unique<Tanh>(); }
 
 Matrix Sigmoid::forward(const Matrix& x, bool train) {
-  Matrix y = x;
-  for (std::size_t i = 0; i < y.rows(); ++i)
-    for (double& v : y.row(i)) v = 1.0 / (1.0 + std::exp(-v));
-  if (train) y_cache_ = y;
+  Matrix y;
+  forward_into(x, y, train);
   return y;
 }
 
 Matrix Sigmoid::backward(const Matrix& grad_out) {
-  require(grad_out.same_shape(y_cache_), "Sigmoid::backward: shape mismatch");
-  Matrix g = grad_out;
-  for (std::size_t i = 0; i < g.rows(); ++i) {
-    auto gr = g.row(i);
-    auto yr = y_cache_.row(i);
-    for (std::size_t j = 0; j < g.cols(); ++j) gr[j] *= yr[j] * (1.0 - yr[j]);
-  }
+  Matrix g;
+  backward_into(grad_out, g);
   return g;
+}
+
+void Sigmoid::forward_into(const Matrix& x, Matrix& y, bool train) {
+  y.resize(x.rows(), x.cols());
+  for (std::size_t i = 0; i < y.rows(); ++i) {
+    auto yr = y.row(i);
+    auto xr = x.row(i);
+    for (std::size_t j = 0; j < y.cols(); ++j)
+      yr[j] = 1.0 / (1.0 + std::exp(-xr[j]));
+  }
+  if (train) y_cache_ = y;
+}
+
+void Sigmoid::backward_into(const Matrix& grad_out, Matrix& grad_in) {
+  require(grad_out.same_shape(y_cache_), "Sigmoid::backward: shape mismatch");
+  grad_in.resize(grad_out.rows(), grad_out.cols());
+  for (std::size_t i = 0; i < grad_in.rows(); ++i) {
+    auto gr = grad_in.row(i);
+    auto go = grad_out.row(i);
+    auto yr = y_cache_.row(i);
+    for (std::size_t j = 0; j < grad_in.cols(); ++j)
+      gr[j] = go[j] * yr[j] * (1.0 - yr[j]);
+  }
 }
 
 std::unique_ptr<Layer> Sigmoid::clone() const { return std::make_unique<Sigmoid>(); }

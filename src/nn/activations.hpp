@@ -9,6 +9,8 @@ class ReLU final : public Layer {
  public:
   Matrix forward(const Matrix& x, bool train) override;
   Matrix backward(const Matrix& grad_out) override;
+  void forward_into(const Matrix& x, Matrix& y, bool train) override;
+  void backward_into(const Matrix& grad_out, Matrix& grad_in) override;
   std::unique_ptr<Layer> clone() const override;
 
  private:
@@ -19,6 +21,8 @@ class Tanh final : public Layer {
  public:
   Matrix forward(const Matrix& x, bool train) override;
   Matrix backward(const Matrix& grad_out) override;
+  void forward_into(const Matrix& x, Matrix& y, bool train) override;
+  void backward_into(const Matrix& grad_out, Matrix& grad_in) override;
   std::unique_ptr<Layer> clone() const override;
 
  private:
@@ -29,6 +33,8 @@ class Sigmoid final : public Layer {
  public:
   Matrix forward(const Matrix& x, bool train) override;
   Matrix backward(const Matrix& grad_out) override;
+  void forward_into(const Matrix& x, Matrix& y, bool train) override;
+  void backward_into(const Matrix& grad_out, Matrix& grad_in) override;
   std::unique_ptr<Layer> clone() const override;
 
  private:

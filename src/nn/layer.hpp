@@ -32,6 +32,21 @@ class Layer {
   /// parameter gradients and returns dL/d(input).
   virtual Matrix backward(const Matrix& grad_out) = 0;
 
+  /// Forward pass into a caller-provided output, resized in place. Hot
+  /// layers override this to reuse `y`'s allocation (zero heap traffic at a
+  /// steady batch shape); the default adapter falls back to the allocating
+  /// forward(). Element-wise layers tolerate `&y == &x`; layers that cannot
+  /// (e.g. Linear) reject aliasing with `require`.
+  virtual void forward_into(const Matrix& x, Matrix& y, bool train) {
+    y = forward(x, train);
+  }
+
+  /// Backward counterpart of forward_into: writes dL/d(input) into
+  /// `grad_in` (resized in place) while accumulating parameter gradients.
+  virtual void backward_into(const Matrix& grad_out, Matrix& grad_in) {
+    grad_in = backward(grad_out);
+  }
+
   /// Trainable parameters (empty for activations).
   virtual std::vector<Param> params() { return {}; }
 
@@ -39,7 +54,10 @@ class Layer {
   /// learning loss).
   virtual std::unique_ptr<Layer> clone() const = 0;
 
-  void zero_grad() {
+  /// Zero all parameter gradients. The default builds the params() vector;
+  /// hot layers override it to hit their gradient matrices directly so a
+  /// steady-state training step stays allocation-free.
+  virtual void zero_grad() {
     for (auto p : params()) *p.grad *= 0.0;
   }
 };

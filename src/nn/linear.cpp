@@ -4,6 +4,7 @@
 
 #include "tensor/assert.hpp"
 #include "tensor/check.hpp"
+#include "tensor/kernels.hpp"
 
 namespace cnd::nn {
 
@@ -16,29 +17,40 @@ Linear::Linear(std::size_t in, std::size_t out, Rng& rng)
 }
 
 Matrix Linear::forward(const Matrix& x, bool train) {
-  require(x.cols() == w_.rows(), "Linear::forward: input width mismatch");
-  if (train) x_cache_ = x;
-  Matrix y = matmul(x, w_);
-  for (std::size_t i = 0; i < y.rows(); ++i) {
-    auto r = y.row(i);
-    auto b = b_.row(0);
-    for (std::size_t j = 0; j < y.cols(); ++j) r[j] += b[j];
-  }
+  Matrix y;
+  forward_into(x, y, train);
   return y;
 }
 
 Matrix Linear::backward(const Matrix& grad_out) {
+  Matrix g;
+  backward_into(grad_out, g);
+  return g;
+}
+
+void Linear::forward_into(const Matrix& x, Matrix& y, bool train) {
+  require(x.cols() == w_.rows(), "Linear::forward: input width mismatch");
+  require(&y != &x, "Linear::forward_into: output aliases input");
+  // vector copy-assignment reuses the cache's existing capacity, so at a
+  // steady batch shape this caching copy performs no allocation.
+  if (train) x_cache_ = x;
+  matmul_into(y, x, w_);
+  add_rowvec_inplace(y, b_.row(0));
+}
+
+void Linear::backward_into(const Matrix& grad_out, Matrix& grad_in) {
   require(!x_cache_.empty(), "Linear::backward: no cached forward pass");
   require(grad_out.rows() == x_cache_.rows() && grad_out.cols() == w_.cols(),
           "Linear::backward: gradient shape mismatch");
+  require(&grad_in != &grad_out, "Linear::backward_into: output aliases input");
   CND_DCHECK_ALL_FINITE(grad_out, "Linear::backward: non-finite upstream gradient");
-  gw_ += matmul_at(x_cache_, grad_out);
+  matmul_at_add_into(gw_, x_cache_, grad_out);
   for (std::size_t i = 0; i < grad_out.rows(); ++i) {
     auto g = grad_out.row(i);
     auto gb = gb_.row(0);
     for (std::size_t j = 0; j < grad_out.cols(); ++j) gb[j] += g[j];
   }
-  return matmul_bt(grad_out, w_);
+  matmul_bt_into(grad_in, grad_out, w_);
 }
 
 std::vector<Param> Linear::params() { return {{&w_, &gw_}, {&b_, &gb_}}; }

@@ -12,7 +12,13 @@ class Linear final : public Layer {
 
   Matrix forward(const Matrix& x, bool train) override;
   Matrix backward(const Matrix& grad_out) override;
+  void forward_into(const Matrix& x, Matrix& y, bool train) override;
+  void backward_into(const Matrix& grad_out, Matrix& grad_in) override;
   std::vector<Param> params() override;
+  void zero_grad() override {
+    gw_ *= 0.0;
+    gb_ *= 0.0;
+  }
   std::unique_ptr<Layer> clone() const override;
 
   std::size_t in_features() const { return w_.rows(); }

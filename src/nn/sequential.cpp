@@ -23,15 +23,50 @@ void Sequential::add(std::unique_ptr<Layer> layer) {
 }
 
 Matrix Sequential::forward(const Matrix& x, bool train) {
-  Matrix h = x;
-  for (auto& l : layers_) h = l->forward(h, train);
+  Matrix h;
+  forward_into(x, h, train);
   return h;
 }
 
 Matrix Sequential::backward(const Matrix& grad_out) {
-  Matrix g = grad_out;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
+  Matrix g;
+  backward_into(grad_out, g);
   return g;
+}
+
+void Sequential::forward_into(const Matrix& x, Matrix& y, bool train) {
+  if (layers_.empty()) {
+    y = x;
+    return;
+  }
+  // Intermediates ping-pong between the two scratch slots; only the last
+  // layer writes the caller's output, so `y` may alias `x`.
+  const Matrix* in = &x;
+  for (std::size_t i = 0; i + 1 < layers_.size(); ++i) {
+    Matrix& out = scratch_[i % 2];
+    layers_[i]->forward_into(*in, out, train);
+    in = &out;
+  }
+  layers_.back()->forward_into(*in, y, train);
+}
+
+void Sequential::backward_into(const Matrix& grad_out, Matrix& grad_in) {
+  if (layers_.empty()) {
+    grad_in = grad_out;
+    return;
+  }
+  // Layer i's input gradient has the shape of layer i-1's output, which is
+  // exactly what scratch_[(i-1) % 2] held during the forward pass — so the
+  // backward chain reuses the same slots with zero reshaping. Layers own
+  // whatever forward state they need (x_cache_/y_cache_), so clobbering the
+  // forward intermediates here is safe.
+  const Matrix* g = &grad_out;
+  for (std::size_t i = layers_.size(); i-- > 1;) {
+    Matrix& out = scratch_[(i - 1) % 2];
+    layers_[i]->backward_into(*g, out);
+    g = &out;
+  }
+  layers_.front()->backward_into(*g, grad_in);
 }
 
 std::vector<Param> Sequential::params() {

@@ -21,14 +21,25 @@ class Sequential final : public Layer {
 
   Matrix forward(const Matrix& x, bool train) override;
   Matrix backward(const Matrix& grad_out) override;
+  void forward_into(const Matrix& x, Matrix& y, bool train) override;
+  void backward_into(const Matrix& grad_out, Matrix& grad_in) override;
   std::vector<Param> params() override;
   std::unique_ptr<Layer> clone() const override;
+  void zero_grad() override {
+    for (auto& l : layers_) l->zero_grad();
+  }
 
   /// Inference shortcut (no caching).
   Matrix predict(const Matrix& x) { return forward(x, /*train=*/false); }
 
  private:
   std::vector<std::unique_ptr<Layer>> layers_;
+  // Ping-pong buffers for intermediate activations/gradients inside
+  // forward_into/backward_into. Layer i writes scratch_[i % 2] while reading
+  // the other slot, so shapes are stable across iterations at a fixed batch
+  // size and the chain runs allocation-free after warm-up. Pure scratch:
+  // deliberately not cloned/copied with the model.
+  Matrix scratch_[2];
 };
 
 }  // namespace cnd::nn

@@ -11,7 +11,14 @@
 namespace cnd {
 
 /// Throws std::invalid_argument if `cond` is false. Use for argument checks
-/// on public entry points.
+/// on public entry points. The const char* overload is the hot one: string
+/// literals bind to it directly, so a passing check touches neither the
+/// heap nor the allocator (the zero-allocation steady-state contract of the
+/// `_into` kernels depends on this).
+inline void require(bool cond, const char* what) {
+  if (!cond) throw std::invalid_argument(what);
+}
+
 inline void require(bool cond, const std::string& what) {
   if (!cond) throw std::invalid_argument(what);
 }

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
-#include "runtime/parallel_for.hpp"
 #include "tensor/assert.hpp"
 #include "tensor/check.hpp"
+#include "tensor/kernels.hpp"
 
 namespace cnd {
 
@@ -59,6 +59,13 @@ void Matrix::set_row(std::size_t r, std::span<const double> v) {
   std::copy(v.begin(), v.end(), row(r).begin());
 }
 
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  if (rows_ == rows && cols_ == cols) return;
+  data_.resize(rows * cols);
+  rows_ = rows;
+  cols_ = cols;
+}
+
 Matrix Matrix::take_rows(const std::vector<std::size_t>& idx) const {
   Matrix out(idx.size(), cols_);
   for (std::size_t i = 0; i < idx.size(); ++i) {
@@ -101,76 +108,27 @@ Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
 Matrix operator*(Matrix a, double s) { return a *= s; }
 Matrix operator*(double s, Matrix a) { return a *= s; }
 
-// The three matmul variants distribute output *rows* over the runtime pool.
-// Each row's accumulation order over the inner dimension is the same as the
-// serial loop, and rows never share output, so results are bit-identical at
-// any thread count (docs/PARALLELISM.md). grain_for_cost doubles as the
-// small-matrix cutoff: below ~32k flops everything runs inline.
+// The three matmul variants are thin allocating wrappers over the blocked
+// `_into` kernels (tensor/kernels.{hpp,cpp}): output rows are distributed
+// over the runtime pool, and each element accumulates over the inner
+// dimension in the canonical p-ascending order, so results are bit-identical
+// at any thread count (docs/PARALLELISM.md).
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
-  require(a.cols() == b.rows(), "matmul: inner dimension mismatch");
-  // Catch NaN/Inf before the skip-zero inner loop can mask a poisoned input.
-  CND_DCHECK_ALL_FINITE(a, "matmul: lhs has non-finite elements");
-  CND_DCHECK_ALL_FINITE(b, "matmul: rhs has non-finite elements");
-  Matrix c(a.rows(), b.cols());
-  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  runtime::parallel_for(0, m, runtime::grain_for_cost(k * n),
-                        [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      const double* ai = a.data() + i * k;
-      double* ci = c.data() + i * n;
-      for (std::size_t p = 0; p < k; ++p) {
-        const double aip = ai[p];
-        if (aip == 0.0) continue;
-        const double* bp = b.data() + p * n;
-        for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
-      }
-    }
-  });
+  Matrix c;
+  matmul_into(c, a, b);
   return c;
 }
 
 Matrix matmul_bt(const Matrix& a, const Matrix& b) {
-  require(a.cols() == b.cols(), "matmul_bt: inner dimension mismatch");
-  CND_DCHECK_ALL_FINITE(a, "matmul_bt: lhs has non-finite elements");
-  CND_DCHECK_ALL_FINITE(b, "matmul_bt: rhs has non-finite elements");
-  Matrix c(a.rows(), b.rows());
-  const std::size_t k = a.cols();
-  runtime::parallel_for(0, a.rows(), runtime::grain_for_cost(b.rows() * k),
-                        [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      const double* ai = a.data() + i * k;
-      for (std::size_t j = 0; j < b.rows(); ++j) {
-        const double* bj = b.data() + j * k;
-        double s = 0.0;
-        for (std::size_t p = 0; p < k; ++p) s += ai[p] * bj[p];
-        c(i, j) = s;
-      }
-    }
-  });
+  Matrix c;
+  matmul_bt_into(c, a, b);
   return c;
 }
 
 Matrix matmul_at(const Matrix& a, const Matrix& b) {
-  require(a.rows() == b.rows(), "matmul_at: inner dimension mismatch");
-  CND_DCHECK_ALL_FINITE(a, "matmul_at: lhs has non-finite elements");
-  CND_DCHECK_ALL_FINITE(b, "matmul_at: rhs has non-finite elements");
-  Matrix c(a.cols(), b.cols());
-  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
-  // Output-row (i) blocked so rows can be distributed; per (i, j) the sum
-  // still runs over p ascending, the same order as a p-outer loop.
-  runtime::parallel_for(0, m, runtime::grain_for_cost(k * n),
-                        [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      double* ci = c.data() + i * n;
-      for (std::size_t p = 0; p < k; ++p) {
-        const double api = a.data()[p * m + i];
-        if (api == 0.0) continue;
-        const double* bp = b.data() + p * n;
-        for (std::size_t j = 0; j < n; ++j) ci[j] += api * bp[j];
-      }
-    }
-  });
+  Matrix c;
+  matmul_at_into(c, a, b);
   return c;
 }
 

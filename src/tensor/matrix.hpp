@@ -50,6 +50,13 @@ class Matrix {
   /// New matrix containing the given rows, in order.
   Matrix take_rows(const std::vector<std::size_t>& idx) const;
 
+  /// Reshape to rows x cols in place, reusing the existing allocation when
+  /// it is large enough (free when the shape already matches — the steady
+  /// batch case). Element values are unspecified afterwards unless the
+  /// shape was unchanged; callers overwrite. This is what the `_into`
+  /// kernels (tensor/kernels.hpp) call on their outputs.
+  void resize(std::size_t rows, std::size_t cols);
+
   /// Stack `other` below this matrix (column counts must match; stacking
   /// onto an empty matrix adopts the other's width).
   void append_rows(const Matrix& other);
@@ -74,7 +81,8 @@ Matrix operator-(Matrix a, const Matrix& b);
 Matrix operator*(Matrix a, double s);
 Matrix operator*(double s, Matrix a);
 
-/// Matrix product a(m x k) * b(k x n) -> (m x n). Cache-blocked ikj loop.
+/// Matrix product a(m x k) * b(k x n) -> (m x n). Register-blocked kernel
+/// (tensor/kernels.hpp); canonical p-ascending accumulation per element.
 Matrix matmul(const Matrix& a, const Matrix& b);
 
 /// a(m x k) * b^T where b is (n x k) -> (m x n). Avoids materializing b^T.

@@ -19,6 +19,12 @@
 #                   exercise every detector in core::make_detector's registry
 #                   (extended_nd + fig3) at a tiny scale and verify each name
 #                   in DETECTORS below appears in their CSV output.
+#   KERNEL_SWEEP=0  opt out of the blocked-kernel sweep (on by default):
+#                   bench_micro_substrate --dump-kernels writes fixed-seed
+#                   outputs of every register-blocked kernel; the CSVs must
+#                   be byte-identical at CND_THREADS=1 vs 4 (and in the TSan
+#                   tree when TSAN_BUILD_DIR is set), and every name in
+#                   KERNELS below must appear in them.
 #
 # Exit 0 when every comparison matches and the metrics JSONL is well-formed,
 # 1 otherwise.
@@ -41,6 +47,17 @@ DETECTORS=(
   "AE"
   "LOF"
   "OC-SVM"
+)
+
+# Every kernel case bench_micro_substrate --dump-kernels emits. The lint
+# registry-coverage rule cross-checks this list against the bench source, so
+# a new kernel case cannot ship without the sweep below covering it.
+KERNELS=(
+  "matmul"
+  "matmul_bt"
+  "matmul_at"
+  "pairwise_dist"
+  "knn"
 )
 
 BUILD_DIR=${BUILD_DIR:-build}
@@ -145,6 +162,59 @@ for dir in t1m t4m; do
     echo "OK   ${dir}/metrics.jsonl well-formed ($(wc -l < "${mfile}") lines)"
   fi
 done
+
+# Blocked-kernel sweep (on by default; KERNEL_SWEEP=0 opts out): fixed-seed
+# outputs of every register-blocked kernel, byte-compared between
+# CND_THREADS=1 and 4 — the accumulation-order contract end to end. When
+# TSAN_BUILD_DIR is set the TSan tree's dump must match too.
+if [ "${KERNEL_SWEEP:-1}" = "1" ]; then
+  MICRO="${BUILD_DIR}/bench/bench_micro_substrate"
+  if [ ! -x "${MICRO}" ]; then
+    echo "FAIL kernel sweep: '${MICRO}' is missing (KERNEL_SWEEP=0 to skip)"
+    status=1
+  else
+    micro=$(readlink -f "${MICRO}")
+    for t in 1 4; do
+      mkdir -p "${WORK}/k${t}"
+      echo "== CND_THREADS=${t} $(basename "${micro}") --dump-kernels=kernels.csv"
+      (cd "${WORK}/k${t}" && CND_THREADS=${t} "${micro}" --dump-kernels=kernels.csv)
+    done
+    if diff -q "${WORK}/k1/kernels.csv" "${WORK}/k4/kernels.csv" > /dev/null; then
+      echo "OK   kernels.csv identical between CND_THREADS=1 and 4"
+    else
+      echo "FAIL kernels.csv differs between CND_THREADS=1 and 4"
+      diff "${WORK}/k1/kernels.csv" "${WORK}/k4/kernels.csv" | head -10 || true
+      status=1
+    fi
+    for kernel in "${KERNELS[@]}"; do
+      if grep -q "^${kernel}," "${WORK}/k1/kernels.csv"; then
+        echo "OK   kernel case '${kernel}' present in sweep"
+      else
+        echo "FAIL kernel case '${kernel}' absent from kernels.csv"
+        status=1
+      fi
+    done
+    if [ -n "${TSAN_BUILD_DIR:-}" ]; then
+      TSAN_MICRO="${TSAN_BUILD_DIR}/bench/bench_micro_substrate"
+      if [ ! -x "${TSAN_MICRO}" ]; then
+        echo "FAIL kernel sweep: TSAN_BUILD_DIR set but '${TSAN_MICRO}' is missing"
+        status=1
+      else
+        tsan_micro=$(readlink -f "${TSAN_MICRO}")
+        mkdir -p "${WORK}/ktsan"
+        echo "== CND_THREADS=4 (TSan) $(basename "${tsan_micro}") --dump-kernels=kernels.csv"
+        (cd "${WORK}/ktsan" && CND_THREADS=4 "${tsan_micro}" --dump-kernels=kernels.csv)
+        if diff -q "${WORK}/k1/kernels.csv" "${WORK}/ktsan/kernels.csv" > /dev/null; then
+          echo "OK   kernels.csv identical between Release t1 and TSan t4"
+        else
+          echo "FAIL kernels.csv differs between Release t1 and TSan t4"
+          diff "${WORK}/k1/kernels.csv" "${WORK}/ktsan/kernels.csv" | head -10 || true
+          status=1
+        fi
+      fi
+    fi
+  fi
+fi
 
 # Optional full-registry sweep: bench_extended_nd + bench_fig3_cl_comparison
 # together exercise all twelve registered detectors; verify every name in

@@ -30,8 +30,10 @@ machine-checked:
   layering          src/<layer> files include only from layers at or below
                     them in the dependency order declared in src/CMakeLists.
   registry-coverage tools/check_determinism.sh must name every detector
-                    registered in core::make_detector, so the end-to-end
-                    determinism check cannot silently skip a detector.
+                    registered in core::make_detector, and every kernel case
+                    bench_micro_substrate --dump-kernels emits, so the
+                    end-to-end determinism check cannot silently skip a
+                    detector or a blocked kernel.
 
 Escape hatch: append `// cnd-lint: allow(<rule>[, <rule>...])` to the
 offending line (or the line directly above it) with a short justification.
@@ -124,6 +126,9 @@ RE_ALLOW = re.compile(r"cnd-lint:\s*allow\(([^)]*)\)")
 RE_EXPECT = re.compile(r"cnd-lint-expect:\s*([\w,\s-]+)")
 RE_VPATH = re.compile(r"cnd-lint-path:\s*(\S+)")
 RE_FACTORY_ADD = re.compile(r'\badd\("([^"]+)"')
+# Kernel case names in bench_micro_substrate's --dump-kernels writer: the
+# dump_matrix("name", ...) calls plus raw fprintf rows ("name,%zu,...").
+RE_KERNEL_DUMP = re.compile(r'dump_matrix\("([^"]+)"|fprintf\(f, "([a-z_]+),%zu')
 
 
 @dataclass
@@ -317,6 +322,33 @@ def check_registry_coverage(root: str) -> list[Finding]:
             findings.append(Finding(
                 "tools/check_determinism.sh", 1, "registry-coverage",
                 f"registered detector '{name}' is not covered by "
+                "check_determinism.sh"))
+
+    # The kernel sweep side of the same contract: every --dump-kernels case
+    # (and the bench binary itself) must be named by the determinism script.
+    bench = os.path.join(root, "bench/bench_micro_substrate.cpp")
+    try:
+        with open(bench, encoding="utf-8") as f:
+            matches = RE_KERNEL_DUMP.findall(f.read())
+    except OSError as e:
+        return findings + [Finding("bench/bench_micro_substrate.cpp", 1,
+                                   "registry-coverage",
+                                   f"cannot read kernel dump bench: {e}")]
+    cases = list(dict.fromkeys(a or b for a, b in matches))
+    if not cases:
+        findings.append(Finding("bench/bench_micro_substrate.cpp", 1,
+                                "registry-coverage",
+                                "no --dump-kernels cases found (parser drift?)"))
+    if "bench_micro_substrate" not in script_text:
+        findings.append(Finding(
+            "tools/check_determinism.sh", 1, "registry-coverage",
+            "check_determinism.sh never runs bench_micro_substrate's "
+            "kernel sweep"))
+    for case in cases:
+        if f'"{case}"' not in script_text:
+            findings.append(Finding(
+                "tools/check_determinism.sh", 1, "registry-coverage",
+                f"kernel dump case '{case}' is not covered by "
                 "check_determinism.sh"))
     return findings
 
