@@ -25,6 +25,7 @@ constexpr std::size_t kQueryBlock = 64;
 
 }  // namespace
 
+// cnd-hot
 void pairwise_sq_dist_into(Matrix& d2, const Matrix& a, const Matrix& b,
                            Workspace& ws) {
   require(a.cols() == b.cols(), "pairwise_sq_dist: feature mismatch");
@@ -48,6 +49,7 @@ void pairwise_sq_dist_into(Matrix& d2, const Matrix& a, const Matrix& b,
   });
 }
 
+// cnd-hot
 Matrix pairwise_dist(const Matrix& a, const Matrix& b) {
   Workspace ws;
   Matrix d;
@@ -60,6 +62,7 @@ Matrix pairwise_dist(const Matrix& a, const Matrix& b) {
   return d;
 }
 
+// cnd-hot
 Knn knn(const Matrix& query, const Matrix& ref, std::size_t k, bool exclude_self) {
   require(query.cols() == ref.cols(), "knn: feature mismatch");
   require(k > 0, "knn: k must be > 0");
@@ -92,7 +95,7 @@ Knn knn(const Matrix& query, const Matrix& ref, std::size_t k, bool exclude_self
     // Bounded size-k max-heap (std::*_heap with the default pair ordering:
     // the root is the current worst survivor).
     std::vector<std::pair<double, std::size_t>> heap;
-    heap.reserve(k);
+    heap.reserve(k);  // cnd-analyze: allow(hot-path-alloc) — once per chunk, bounded by k
     for (std::size_t q0 = lo; q0 < hi; q0 += kQueryBlock) {
       const std::size_t q1 = std::min(hi, q0 + kQueryBlock);
       Matrix& g = ws.mat(0, q1 - q0, ref.rows());
@@ -106,7 +109,7 @@ Knn knn(const Matrix& query, const Matrix& ref, std::size_t k, bool exclude_self
           const double d2 = std::max(0.0, nq[i - q0] + nref[j] - 2.0 * gr[j]);
           const std::pair<double, std::size_t> cand{d2, j};
           if (heap.size() < k) {
-            heap.push_back(cand);
+            heap.push_back(cand);  // cnd-analyze: allow(hot-path-alloc) — within reserve(k) capacity
             std::push_heap(heap.begin(), heap.end());
           } else if (cand < heap.front()) {
             std::pop_heap(heap.begin(), heap.end());

@@ -8,10 +8,11 @@
 
 namespace cnd::ml {
 
+// cnd-hot
 void IncrementalPca::partial_fit(const Matrix& x) {
   require(x.rows() > 0, "IncrementalPca::partial_fit: empty batch");
   if (n_ == 0) {
-    mean_.assign(x.cols(), 0.0);
+    mean_.assign(x.cols(), 0.0);  // cnd-analyze: allow(hot-path-alloc) — first batch only
     comoment_ = Matrix(x.cols(), x.cols());
   }
   require(x.cols() == mean_.size(), "IncrementalPca::partial_fit: width mismatch");
@@ -108,6 +109,7 @@ std::vector<double> IncrementalPca::score(const Matrix& x) const {
   return out;
 }
 
+// cnd-hot
 void IncrementalPca::score_into(const Matrix& x, std::vector<double>& out,
                                 Workspace& ws) const {
   require(refreshed_, "IncrementalPca::score: refresh() not called");

@@ -27,6 +27,7 @@ constexpr std::size_t kRowBlock = 256;
 // smallest index, matching a scalar linear scan). Fills assign[i] and/or
 // d2_out[i] when non-null. Deterministic at any thread count: each (i, c)
 // value is independent of chunk and block boundaries.
+// cnd-hot
 void assign_nearest(const Matrix& x, const Matrix& cen,
                     std::vector<std::size_t>* assign,
                     std::vector<double>* d2_out) {

@@ -80,6 +80,7 @@ void Pca::transform_into(const Matrix& x, Matrix& out, Workspace& ws) const {
   matmul_into(out, centered, components_);
 }
 
+// cnd-hot
 void Pca::score_into(const Matrix& x, std::vector<double>& out, Workspace& ws) const {
   require(fitted(), "Pca::score: not fitted");
   // Same operation sequence as transform() + inverse_transform() + sq_dist,

@@ -15,12 +15,12 @@ Autoencoder::Autoencoder(const AutoencoderConfig& cfg, Rng& rng) : cfg_(cfg) {
   encoder_.add(std::make_unique<Linear>(cfg.input_dim, cfg.hidden_dim, rng));
   encoder_.add(std::make_unique<ReLU>());
   if (cfg.dropout > 0.0)
-    encoder_.add(std::make_unique<Dropout>(cfg.dropout, rng.split(1).engine()()));
+    encoder_.add(std::make_unique<Dropout>(cfg.dropout, rng.split(1).draw_u64()));
   encoder_.add(std::make_unique<Linear>(cfg.hidden_dim, cfg.latent_dim, rng));
   decoder_.add(std::make_unique<Linear>(cfg.latent_dim, cfg.hidden_dim, rng));
   decoder_.add(std::make_unique<ReLU>());
   if (cfg.dropout > 0.0)
-    decoder_.add(std::make_unique<Dropout>(cfg.dropout, rng.split(2).engine()()));
+    decoder_.add(std::make_unique<Dropout>(cfg.dropout, rng.split(2).draw_u64()));
   decoder_.add(std::make_unique<Linear>(cfg.hidden_dim, cfg.input_dim, rng));
 }
 

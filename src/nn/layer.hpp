@@ -37,12 +37,14 @@ class Layer {
   /// steady batch shape); the default adapter falls back to the allocating
   /// forward(). Element-wise layers tolerate `&y == &x`; layers that cannot
   /// (e.g. Linear) reject aliasing with `require`.
+  // cnd-alloc-ok(default adapter delegates to the allocating forward(); hot layers override)
   virtual void forward_into(const Matrix& x, Matrix& y, bool train) {
     y = forward(x, train);
   }
 
   /// Backward counterpart of forward_into: writes dL/d(input) into
   /// `grad_in` (resized in place) while accumulating parameter gradients.
+  // cnd-alloc-ok(default adapter delegates to the allocating backward(); hot layers override)
   virtual void backward_into(const Matrix& grad_out, Matrix& grad_in) {
     grad_in = backward(grad_out);
   }

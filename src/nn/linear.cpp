@@ -28,6 +28,7 @@ Matrix Linear::backward(const Matrix& grad_out) {
   return g;
 }
 
+// cnd-hot
 void Linear::forward_into(const Matrix& x, Matrix& y, bool train) {
   require(x.cols() == w_.rows(), "Linear::forward: input width mismatch");
   require(&y != &x, "Linear::forward_into: output aliases input");
@@ -38,6 +39,7 @@ void Linear::forward_into(const Matrix& x, Matrix& y, bool train) {
   add_rowvec_inplace(y, b_.row(0));
 }
 
+// cnd-hot
 void Linear::backward_into(const Matrix& grad_out, Matrix& grad_in) {
   require(!x_cache_.empty(), "Linear::backward: no cached forward pass");
   require(grad_out.rows() == x_cache_.rows() && grad_out.cols() == w_.cols(),

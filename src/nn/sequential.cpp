@@ -34,6 +34,7 @@ Matrix Sequential::backward(const Matrix& grad_out) {
   return g;
 }
 
+// cnd-hot
 void Sequential::forward_into(const Matrix& x, Matrix& y, bool train) {
   if (layers_.empty()) {
     y = x;
@@ -50,6 +51,7 @@ void Sequential::forward_into(const Matrix& x, Matrix& y, bool train) {
   layers_.back()->forward_into(*in, y, train);
 }
 
+// cnd-hot
 void Sequential::backward_into(const Matrix& grad_out, Matrix& grad_in) {
   if (layers_.empty()) {
     grad_in = grad_out;

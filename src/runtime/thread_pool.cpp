@@ -123,6 +123,7 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
   }
 }
 
+// cnd-alloc-ok(job bookkeeping + obs metric names; the chunk fn itself is scanned at its definition site)
 void ThreadPool::run(std::size_t n_chunks,
                      const std::function<void(std::size_t)>& chunk_fn) {
   if (n_chunks == 0) return;
@@ -176,6 +177,7 @@ bool in_parallel_region() { return t_in_region; }
 
 namespace detail {
 
+// cnd-alloc-ok(lazily (re)builds the process-wide pool when the lane count changes)
 ThreadPool& shared_pool() {
   const std::size_t lanes = threads();
   std::lock_guard<std::mutex> lk(g_config_mutex);

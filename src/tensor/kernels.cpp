@@ -34,12 +34,14 @@ inline double madd(double a, double b, double c) { return a * b + c; }
 
 }  // namespace
 
+// cnd-alloc-ok(slot pool: grows on first use of a slot/shape, then reuses storage)
 Matrix& Workspace::mat(std::size_t slot, std::size_t rows, std::size_t cols) {
   if (slot >= mats_.size()) mats_.resize(slot + 1);
   mats_[slot].resize(rows, cols);
   return mats_[slot];
 }
 
+// cnd-alloc-ok(slot pool: grows on first use of a slot/shape, then reuses storage)
 std::vector<double>& Workspace::vec(std::size_t slot, std::size_t size) {
   if (slot >= vecs_.size()) vecs_.resize(slot + 1);
   vecs_[slot].resize(size);

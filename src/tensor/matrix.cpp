@@ -12,6 +12,7 @@ namespace cnd {
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
 
+// cnd-alloc-ok(constructing an owning matrix allocates by definition; hot loops use workspace slots)
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
   rows_ = init.size();
   cols_ = rows_ ? init.begin()->size() : 0;
@@ -59,6 +60,7 @@ void Matrix::set_row(std::size_t r, std::span<const double> v) {
   std::copy(v.begin(), v.end(), row(r).begin());
 }
 
+// cnd-alloc-ok(grows only when the shape changes; a steady batch shape is a no-op)
 void Matrix::resize(std::size_t rows, std::size_t cols) {
   if (rows_ == rows && cols_ == cols) return;
   data_.resize(rows * cols);

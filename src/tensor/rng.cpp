@@ -1,45 +1,124 @@
+// Portable distribution implementations on top of the mt19937_64 word
+// stream.
+//
+// The mt19937_64 engine itself is pinned by the C++ standard (same seed →
+// same 64-bit words everywhere), but the std::*_distribution adapters are
+// not: libstdc++ and libc++ use different algorithms, so routing draws
+// through them makes every downstream experiment toolchain-dependent. Each
+// distribution below is therefore spelled out with one fixed algorithm:
+//
+//   uniform      53-bit mantissa scaling: (word >> 11) * 2^-53 ∈ [0, 1)
+//   normal       Box–Muller (two words per draw, cosine branch only — no
+//                cached spare, so copies/splits of an Rng stay independent
+//                of draw parity)
+//   randint      Lemire multiply-shift with rejection (unbiased, bounded)
+//   bernoulli    uniform() < p
+//   exponential  inverse CDF: -log1p(-u) / lambda
+//   heavy_tail   normal / sqrt(chi2/df); chi2 = 2·Gamma(df/2) via
+//                Marsaglia–Tsang squeeze (normal + uniform rejection)
+//
+// All math funnels through libm (log/cos/sqrt), which both toolchains share
+// on a given platform; tests/test_rng.cpp pins the exact bit patterns of the
+// first draws so any algorithmic drift is caught immediately.
 #include "tensor/rng.hpp"
 
 #include <cmath>
+#include <numbers>
 #include <numeric>
 
 #include "tensor/assert.hpp"
 
 namespace cnd {
 
+namespace {
+
+/// Map one engine word to the 53-bit-exact uniform grid on [0, 1).
+inline double to_unit(std::uint64_t word) {
+  return static_cast<double>(word >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::uint64_t Rng::draw_u64() { return gen_(); }
+
 double Rng::uniform(double lo, double hi) {
-  std::uniform_real_distribution<double> d(lo, hi);
-  return d(gen_);
+  return lo + (hi - lo) * to_unit(gen_());
 }
 
 double Rng::normal(double mean, double stddev) {
-  std::normal_distribution<double> d(mean, stddev);
-  return d(gen_);
+  // Box–Muller. u1 ∈ (0, 1] keeps the log finite; u2 ∈ [0, 1) spins the
+  // angle. Only the cosine branch is used: a cached sine spare would make
+  // the stream depend on how many draws a copied parent already made.
+  const double u1 = 1.0 - to_unit(gen_());
+  const double u2 = to_unit(gen_());
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(2.0 * std::numbers::pi * u2);
 }
 
 std::int64_t Rng::randint(std::int64_t lo, std::int64_t hi) {
   require(lo <= hi, "Rng::randint: empty range");
-  std::uniform_int_distribution<std::int64_t> d(lo, hi);
-  return d(gen_);
+  // Two's-complement wrap makes `span` the count of values in [lo, hi];
+  // span == 0 encodes the full 2^64 range (every word is acceptable).
+  const std::uint64_t span = static_cast<std::uint64_t>(hi) -
+                             static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(gen_());
+  // Lemire multiply-shift: map word·span >> 64; reject the low-product
+  // fringe so every value in [0, span) keeps exactly the same probability.
+  std::uint64_t word = gen_();
+  auto prod = static_cast<unsigned __int128>(word) * span;
+  auto low = static_cast<std::uint64_t>(prod);
+  if (low < span) {
+    const std::uint64_t threshold = (0 - span) % span;  // 2^64 mod span
+    while (low < threshold) {
+      word = gen_();
+      prod = static_cast<unsigned __int128>(word) * span;
+      low = static_cast<std::uint64_t>(prod);
+    }
+  }
+  const auto offset = static_cast<std::uint64_t>(prod >> 64);
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + offset);
 }
 
 bool Rng::bernoulli(double p) {
-  std::bernoulli_distribution d(p);
-  return d(gen_);
+  // u ∈ [0, 1): p == 0 can never fire and p == 1 always does.
+  return to_unit(gen_()) < p;
 }
 
 double Rng::exponential(double lambda) {
   require(lambda > 0.0, "Rng::exponential: lambda must be > 0");
-  std::exponential_distribution<double> d(lambda);
-  return d(gen_);
+  // Inverse CDF with u ∈ [0, 1); log1p keeps precision for small u.
+  return -std::log1p(-to_unit(gen_())) / lambda;
+}
+
+double Rng::gamma(double alpha) {
+  // Marsaglia–Tsang (2000). For alpha < 1, boost with Gamma(alpha + 1) and
+  // the u^(1/alpha) power trick. Rejection loops are deterministic given the
+  // engine stream, so portability is unaffected.
+  if (alpha < 1.0) {
+    const double u = 1.0 - to_unit(gen_());  // (0, 1]: pow/log stay finite
+    return gamma(alpha + 1.0) * std::pow(u, 1.0 / alpha);
+  }
+  const double d = alpha - 1.0 / 3.0;
+  const double c = 1.0 / (3.0 * std::sqrt(d));
+  for (;;) {
+    double x = 0.0;
+    double v = 0.0;
+    do {
+      x = normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = 1.0 - to_unit(gen_());  // (0, 1]: log(u) finite
+    if (u < 1.0 - 0.0331 * (x * x) * (x * x)) return d * v;
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) return d * v;
+  }
 }
 
 double Rng::heavy_tail(double df) {
   require(df > 0.0, "Rng::heavy_tail: df must be > 0");
   const double z = normal();
-  std::chi_squared_distribution<double> chi(df);
-  const double c = chi(gen_);
-  return z / std::sqrt(c / df + 1e-12);
+  const double chi2 = 2.0 * gamma(0.5 * df);
+  return z / std::sqrt(chi2 / df + 1e-12);
 }
 
 std::size_t Rng::categorical(const std::vector<double>& weights) {

@@ -14,6 +14,17 @@ namespace cnd {
 /// Thin, copyable wrapper around std::mt19937_64 with the distributions the
 /// library needs. Copy a parent Rng (or use `split`) to give a component an
 /// independent, deterministic stream.
+///
+/// Every distribution is implemented here with a portable, pinned algorithm
+/// (53-bit uniform, Box–Muller normal, Lemire bounded integers, inverse-CDF
+/// exponential, Marsaglia–Tsang gamma) on top of the raw mt19937_64 word
+/// stream. The std::*_distribution adapters are deliberately NOT used: their
+/// algorithms are implementation-defined, so the same seed yields different
+/// streams on libstdc++ vs libc++ and every downstream table would become
+/// toolchain-dependent. tests/test_rng.cpp pins the exact first draws of
+/// each distribution; tools/cnd_lint.py (no-std-distribution) and
+/// tools/cnd_analyze (rng-confinement) keep std distributions from creeping
+/// back in anywhere else.
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x5EED'CAFEULL) : gen_(seed) {}
@@ -49,9 +60,15 @@ class Rng {
   /// Derive an independent child stream; deterministic in (current state, salt).
   Rng split(std::uint64_t salt);
 
-  std::mt19937_64& engine() { return gen_; }
+  /// One raw 64-bit engine word. For deriving seeds of components that own
+  /// their own Rng (e.g. Dropout); prefer split() for full child streams.
+  std::uint64_t draw_u64();
 
  private:
+  /// Gamma(shape alpha, scale 1) via Marsaglia–Tsang; building block for
+  /// heavy_tail's chi-squared draw.
+  double gamma(double alpha);
+
   std::mt19937_64 gen_;
 };
 

@@ -164,7 +164,7 @@ TEST(KnnDetector, RejectsTooSmallReference) {
 // ---- HBOS ------------------------------------------------------------------
 
 TEST(Hbos, SeparatesPlantedOutliers) {
-  Rng rng(10);
+  Rng rng(12);
   Planted p = make_planted(rng);
   Hbos det({.n_bins = 15});
   det.fit(p.train);

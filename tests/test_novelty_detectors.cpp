@@ -163,7 +163,7 @@ TEST(IsolationForest, ConstantDataDoesNotCrash) {
 }
 
 TEST(DeepIsolationForest, SeparatesPlantedOutliers) {
-  Rng rng(10);
+  Rng rng(12);
   Planted p = make_planted(rng);
   DeepIsolationForest dif({.n_representations = 4, .trees_per_repr = 25});
   dif.fit(p.train, rng);

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <numeric>
 
 namespace cnd {
@@ -111,6 +112,67 @@ TEST(Rng, SplitStreamsIndependent) {
   Rng c3 = parent.split(2);
   EXPECT_NE(c1.uniform(), c2.uniform());
   EXPECT_NE(c1.uniform(), c3.uniform());
+}
+
+// ---------------------------------------------------------------------------
+// Golden streams. Every draw algorithm in rng.cpp is written against raw
+// mt19937_64 words (see the header comment there), so these exact values hold
+// on any conforming platform and standard library. A mismatch means the
+// stream changed: EVERY seeded experiment result shifts, and the note in
+// EXPERIMENTS.md ("RNG stream compatibility") must be updated alongside the
+// new constants here. Constants are hexfloat literals so equality is
+// bit-exact, not round-trip-through-decimal.
+// ---------------------------------------------------------------------------
+
+TEST(RngGolden, RawWordsSeed1) {
+  Rng r(1);
+  EXPECT_EQ(r.draw_u64(), 2469588189546311528ULL);
+  EXPECT_EQ(r.draw_u64(), 2516265689700432462ULL);
+  EXPECT_EQ(r.draw_u64(), 8323445853463659930ULL);
+  EXPECT_EQ(r.draw_u64(), 387828560950575246ULL);
+}
+
+TEST(RngGolden, UniformSeed42) {
+  Rng r(42);
+  EXPECT_EQ(r.uniform(), 0x1.82a3befaddcbcp-1);
+  EXPECT_EQ(r.uniform(), 0x1.472f1f73724ap-1);
+  EXPECT_EQ(r.uniform(), 0x1.81192cfe1cbcfp-1);
+  EXPECT_EQ(r.uniform(), 0x1.171621fc50d68p-3);
+}
+
+TEST(RngGolden, NormalSeed7) {
+  Rng r(7);
+  EXPECT_EQ(r.normal(), 0x1.9765fb74c31bep+0);
+  EXPECT_EQ(r.normal(), 0x1.8e3ca64978f4bp-2);
+  EXPECT_EQ(r.normal(), 0x1.09d0f5cde98a5p-1);
+  EXPECT_EQ(r.normal(), 0x1.88cb7c625b2adp+0);
+}
+
+TEST(RngGolden, RandintSeed13) {
+  Rng r(13);
+  const std::int64_t expect[8] = {6, 4, 0, 3, 2, 5, 9, 1};
+  for (std::int64_t want : expect) EXPECT_EQ(r.randint(0, 9), want);
+}
+
+TEST(RngGolden, BernoulliSeed5) {
+  Rng r(5);
+  const bool expect[8] = {false, true, true, false, true, true, true, false};
+  for (bool want : expect) EXPECT_EQ(r.bernoulli(0.3), want);
+}
+
+TEST(RngGolden, ExponentialSeed9) {
+  Rng r(9);
+  EXPECT_EQ(r.exponential(2.0), 0x1.76370bdc2c66fp-2);
+  EXPECT_EQ(r.exponential(2.0), 0x1.627d38c7cfb25p-2);
+  EXPECT_EQ(r.exponential(2.0), 0x1.09a0957bac483p+0);
+  EXPECT_EQ(r.exponential(2.0), 0x1.c271f81e1fb7ap-1);
+}
+
+TEST(RngGolden, HeavyTailSeed21) {
+  Rng r(21);
+  EXPECT_EQ(r.heavy_tail(3.0), -0x1.27d75eb602838p+0);
+  EXPECT_EQ(r.heavy_tail(3.0), 0x1.7ba521c009de8p-1);
+  EXPECT_EQ(r.heavy_tail(3.0), 0x1.2e89d70493a8ap+0);
 }
 
 }  // namespace

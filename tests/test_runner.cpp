@@ -99,7 +99,7 @@ TEST(Runner, CndIdsBeatsStaticPcaOnDriftingStream) {
   // The headline claim at miniature scale: on a drifting stream with new
   // attack families per experience, continual CND-IDS should not lose to a
   // frozen PCA on raw features, on the current-experience average.
-  auto es = small_experience_set(11);
+  auto es = small_experience_set(20);
   CndIds det(fast_cnd());
   RunResult cnd = run_protocol(det, es);
 

@@ -1,0 +1,9 @@
+// cnd-analyze-path: src/ml/peek.cpp
+// cnd-analyze-expect: rng-confinement
+// Drawing from the raw engine bypasses the portable stream algorithms.
+namespace cnd::ml {
+
+template <class R>
+unsigned long long peek(R& rng) { return rng.engine()(); }
+
+}  // namespace cnd::ml

@@ -1,0 +1,10 @@
+// cnd-analyze-path: src/tensor/buffer.cpp
+#include <vector>
+
+namespace cnd {
+
+void push_sample(std::vector<double>& v, double x) {
+  v.push_back(x);
+}
+
+}  // namespace cnd

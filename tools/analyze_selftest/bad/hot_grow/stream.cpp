@@ -1,0 +1,12 @@
+// cnd-analyze-path: src/ml/stream.cpp
+// cnd-analyze-expect: hot-path-alloc
+// The growth happens two hops away in buffer.cpp; the hot root must still
+// be charged for it.
+#include <vector>
+
+namespace cnd::ml {
+
+// cnd-hot
+void observe(std::vector<double>& v, double x) { push_sample(v, x); }
+
+}  // namespace cnd::ml

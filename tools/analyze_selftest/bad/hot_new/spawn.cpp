@@ -1,0 +1,10 @@
+// cnd-analyze-path: src/ml/spawn.cpp
+// cnd-analyze-expect: hot-path-alloc
+namespace cnd::ml {
+
+// cnd-hot
+double* scratch(unsigned long n) {
+  return new double[n];
+}
+
+}  // namespace cnd::ml

@@ -1,0 +1,6 @@
+// cnd-analyze-path: src/nn/act.cpp
+namespace cnd::nn {
+
+double relu(double x) { return x > 0 ? x : 0; }
+
+}  // namespace cnd::nn

@@ -1,0 +1,17 @@
+// cnd-analyze-path: src/tensor/pool.cpp
+// cnd-analyze-expect: hot-path-alloc
+// Identical to good/alloc_ok_barrier with the annotation deleted: the
+// resize is now charged to the hot root through slot().
+#include <vector>
+
+namespace cnd {
+
+double* slot(std::vector<double>& v, unsigned long n) {
+  v.resize(n);
+  return v.data();
+}
+
+// cnd-hot
+double first(std::vector<double>& v) { return *slot(v, 8); }
+
+}  // namespace cnd

@@ -1,0 +1,14 @@
+// cnd-analyze-path: src/ml/sampler.cpp
+// cnd-analyze-expect: rng-confinement
+// std distributions are not portable across standard libraries; draws must
+// go through cnd::Rng (src/tensor/rng.cpp).
+#include <random>
+
+namespace cnd::ml {
+
+double jitter(std::mt19937_64& g) {
+  std::normal_distribution<double> d(0.0, 1.0);
+  return d(g);
+}
+
+}  // namespace cnd::ml

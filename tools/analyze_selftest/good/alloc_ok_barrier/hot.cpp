@@ -1,0 +1,12 @@
+// cnd-analyze-path: src/tensor/hot.cpp
+// Reaches the allocation only through the cnd-alloc-ok barrier in pool.cpp.
+#include <vector>
+
+namespace cnd {
+
+double* slot(std::vector<double>& v, unsigned long n);
+
+// cnd-hot
+double first(std::vector<double>& v) { return *slot(v, 8); }
+
+}  // namespace cnd

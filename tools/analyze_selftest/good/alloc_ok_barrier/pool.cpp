@@ -1,0 +1,13 @@
+// cnd-analyze-path: src/tensor/pool.cpp
+// The annotated barrier owns its allocation; the hot caller stays clean.
+#include <vector>
+
+namespace cnd {
+
+// cnd-alloc-ok(slot pool: grows on first use, then reuses storage)
+double* slot(std::vector<double>& v, unsigned long n) {
+  v.resize(n);
+  return v.data();
+}
+
+}  // namespace cnd

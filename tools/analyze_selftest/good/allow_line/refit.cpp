@@ -1,0 +1,14 @@
+// cnd-analyze-path: src/ml/refit.cpp
+// A line-level escape hatch suppresses a single direct allocation.
+#include <vector>
+
+namespace cnd::ml {
+
+// cnd-hot
+void accumulate(std::vector<double>& acc, double v) {
+  if (acc.empty())
+    acc.assign(4, 0.0);  // cnd-analyze: allow(hot-path-alloc) — first batch only
+  acc[0] += v;
+}
+
+}  // namespace cnd::ml

@@ -1,0 +1,10 @@
+// cnd-analyze-path: src/ml/compute.cpp
+// A hot function whose whole call tree is allocation-free: no finding.
+namespace cnd::ml {
+
+double helper(double x) { return x * 2.0; }
+
+// cnd-hot
+double score(double x) { return helper(x) + 1.0; }
+
+}  // namespace cnd::ml

@@ -1,0 +1,7 @@
+// cnd-analyze-path: src/nn/dense.cpp
+// nn may call down into tensor: reachable in the layer DAG, no finding.
+namespace cnd::nn {
+
+double activate(double x) { return tensor::norm(x); }
+
+}  // namespace cnd::nn

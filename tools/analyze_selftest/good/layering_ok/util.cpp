@@ -1,0 +1,6 @@
+// cnd-analyze-path: src/tensor/util.cpp
+namespace cnd::tensor {
+
+double norm(double x) { return x < 0 ? -x : x; }
+
+}  // namespace cnd::tensor

@@ -1,0 +1,13 @@
+// cnd-analyze-path: src/tensor/rng.cpp
+// The RNG home file may use std facilities freely; the confinement rule
+// exempts exactly this path.
+#include <random>
+
+namespace cnd {
+
+double raw_draw(std::mt19937_64& g) {
+  std::uniform_real_distribution<double> d(0.0, 1.0);
+  return d(g);
+}
+
+}  // namespace cnd

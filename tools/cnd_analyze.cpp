@@ -1,0 +1,1166 @@
+// cnd_analyze — whole-program contract analyzer for the cnd tree.
+//
+// cnd_lint.py checks what a single line looks like; this tool checks what a
+// call chain can *reach*. It tokenizes every first-party translation unit
+// named in compile_commands.json (plus headers), extracts function
+// definitions with qualified names using a pragmatic C++ heuristic parser
+// (no libclang), links call sites to definitions by qualified-suffix name
+// matching, and runs three reachability checks on the resulting approximate
+// call graph:
+//
+//   hot-path-alloc       functions annotated `// cnd-hot` must not
+//                        transitively reach heap allocation (operator new,
+//                        make_unique/make_shared, malloc family, growing
+//                        container calls) except through functions annotated
+//                        `// cnd-alloc-ok(<reason>)`.
+//   layering-transitive  the layer DAG from cnd_lint's include rule,
+//                        re-checked edge-by-edge on the call graph, so a
+//                        legal include cannot smuggle an illegal call.
+//   rng-confinement      std distributions, raw engine types, and raw
+//                        engine draws are errors outside src/tensor/rng.cpp
+//                        (the portable-stream home, DESIGN.md §4).
+//
+// Findings print as `file:line: rule: message`, one per line, to stdout.
+// A finding on a specific line can be waived with a trailing
+// `// cnd-analyze: allow(rule)` comment, mirroring cnd_lint's escape hatch.
+// Exit status: 0 clean, 1 findings (or self-test mismatch), 2 usage/IO
+// error. See docs/STATIC_ANALYSIS.md for the annotation language and the
+// limits of the heuristics.
+//
+// Usage:
+//   cnd_analyze --compile-commands build/compile_commands.json --root .
+//   cnd_analyze --selftest tools/analyze_selftest
+#include <algorithm>
+#include <cstddef>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Findings
+// ---------------------------------------------------------------------------
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+bool operator<(const Finding& a, const Finding& b) {
+  return std::tie(a.file, a.line, a.rule, a.message) <
+         std::tie(b.file, b.line, b.rule, b.message);
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+enum class Tk { Ident, Number, Punct, Str };
+
+struct Tok {
+  Tk kind;
+  std::string text;
+  int line = 0;
+};
+
+/// Per-file annotation state, harvested from comments while lexing.
+struct Annotations {
+  std::set<int> hot_lines;                       // `cnd-hot`
+  std::map<int, std::string> alloc_ok_lines;     // `cnd-alloc-ok(reason)`
+  std::map<int, std::set<std::string>> allows;   // `cnd-analyze: allow(r)`
+  std::string fixture_path;                      // `cnd-analyze-path: p`
+  std::set<std::string> expects;                 // `cnd-analyze-expect: r`
+};
+
+bool ident_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r'))
+    --e;
+  return std::string(s.substr(b, e - b));
+}
+
+/// True if `marker` occurs in `s` as a standalone word (no identifier or
+/// hyphen characters butted up against either side).
+bool has_marker(std::string_view s, std::string_view marker,
+                std::size_t* at = nullptr) {
+  std::size_t pos = 0;
+  while ((pos = s.find(marker, pos)) != std::string_view::npos) {
+    const bool left_ok =
+        pos == 0 || (!ident_char(s[pos - 1]) && s[pos - 1] != '-');
+    const std::size_t end = pos + marker.size();
+    const bool right_ok =
+        end >= s.size() || (!ident_char(s[end]) && s[end] != '-');
+    if (left_ok && right_ok) {
+      if (at) *at = pos;
+      return true;
+    }
+    pos += marker.size();
+  }
+  return false;
+}
+
+/// Pull `(...)`-enclosed text that immediately follows position `at`.
+std::string paren_payload(std::string_view s, std::size_t at) {
+  const std::size_t open = s.find('(', at);
+  if (open == std::string_view::npos) return {};
+  // Balanced scan so free-text reasons may themselves mention `forward()`.
+  int depth = 0;
+  for (std::size_t k = open; k < s.size(); ++k) {
+    if (s[k] == '(') ++depth;
+    if (s[k] == ')' && --depth == 0)
+      return trim(s.substr(open + 1, k - open - 1));
+  }
+  return trim(s.substr(open + 1));
+}
+
+void scan_comment(std::string_view text, int line, Annotations& ann) {
+  std::size_t at = 0;
+  if (has_marker(text, "cnd-hot")) ann.hot_lines.insert(line);
+  if (has_marker(text, "cnd-alloc-ok", &at))
+    ann.alloc_ok_lines[line] = paren_payload(text, at);
+  if ((at = text.find("cnd-analyze:")) != std::string_view::npos) {
+    std::size_t allow_at = text.find("allow", at);
+    if (allow_at != std::string_view::npos) {
+      std::istringstream rules(paren_payload(text, allow_at));
+      std::string rule;
+      while (std::getline(rules, rule, ','))
+        if (!trim(rule).empty()) ann.allows[line].insert(trim(rule));
+    }
+  }
+  if ((at = text.find("cnd-analyze-path:")) != std::string_view::npos)
+    ann.fixture_path = trim(text.substr(at + 17));
+  if ((at = text.find("cnd-analyze-expect:")) != std::string_view::npos) {
+    const std::string rule = trim(text.substr(at + 19));
+    if (!rule.empty()) ann.expects.insert(rule);
+  }
+}
+
+/// Tokenize one C++ source file. Comments feed the annotation maps and are
+/// dropped; string/char literal *contents* are dropped (a bare Str token
+/// remains); preprocessor lines are skipped entirely (with continuations).
+void lex(const std::string& src, std::vector<Tok>& toks, Annotations& ann) {
+  const std::size_t n = src.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool line_start = true;  // only whitespace seen since last newline
+
+  auto peek = [&](std::size_t k) -> char {
+    return i + k < n ? src[i + k] : '\0';
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      line_start = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+      ++i;
+      continue;
+    }
+    if (c == '#' && line_start) {  // preprocessor line (+ continuations)
+      while (i < n) {
+        if (src[i] == '\\' && peek(1) == '\n') {
+          i += 2;
+          ++line;
+          continue;
+        }
+        if (src[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    line_start = false;
+    if (c == '/' && peek(1) == '/') {
+      const std::size_t eol = src.find('\n', i);
+      const std::size_t end = eol == std::string::npos ? n : eol;
+      scan_comment(std::string_view(src).substr(i + 2, end - i - 2), line, ann);
+      i = end;
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      const int start_line = line;
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      scan_comment(std::string_view(src).substr(i + 2, j - i - 2), start_line,
+                   ann);
+      i = j + 2 > n ? n : j + 2;
+      continue;
+    }
+    if (c == 'R' && peek(1) == '"') {  // raw string literal
+      std::size_t d = i + 2;
+      while (d < n && src[d] != '(') ++d;
+      const std::string close =
+          ")" + src.substr(i + 2, d - (i + 2)) + "\"";
+      const std::size_t end = src.find(close, d);
+      const std::size_t stop = end == std::string::npos ? n : end + close.size();
+      for (std::size_t j = i; j < stop; ++j)
+        if (src[j] == '\n') ++line;
+      toks.push_back({Tk::Str, "", line});
+      i = stop;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      std::size_t j = i + 1;
+      while (j < n && src[j] != c) {
+        if (src[j] == '\\') ++j;
+        if (src[j] == '\n') ++line;  // unterminated; stay sane
+        ++j;
+      }
+      toks.push_back({Tk::Str, "", line});
+      i = j + 1 > n ? n : j + 1;
+      continue;
+    }
+    if (ident_char(c) && !(c >= '0' && c <= '9')) {
+      std::size_t j = i;
+      while (j < n && ident_char(src[j])) ++j;
+      toks.push_back({Tk::Ident, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if ((c >= '0' && c <= '9') ||
+        (c == '.' && peek(1) >= '0' && peek(1) <= '9')) {
+      std::size_t j = i;
+      while (j < n && (ident_char(src[j]) || src[j] == '.' || src[j] == '\'' ||
+                       ((src[j] == '+' || src[j] == '-') && j > i &&
+                        (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                         src[j - 1] == 'p' || src[j - 1] == 'P'))))
+        ++j;
+      toks.push_back({Tk::Number, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Punctuation. `::` and `->` are kept as single tokens (the parser
+    // walks qualified names and member accesses); everything else is one
+    // character so bracket/angle counting stays simple.
+    if (c == ':' && peek(1) == ':') {
+      toks.push_back({Tk::Punct, "::", line});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && peek(1) == '>') {
+      toks.push_back({Tk::Punct, "->", line});
+      i += 2;
+      continue;
+    }
+    toks.push_back({Tk::Punct, std::string(1, c), line});
+    ++i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parsed model
+// ---------------------------------------------------------------------------
+
+struct CallSite {
+  std::vector<std::string> name;  // as written: {"kernels","matmul_into"}
+  bool member = false;            // preceded by `.` or `->`
+  bool grow = false;              // terminal is a container grow method
+  int line = 0;
+};
+
+struct AllocSite {
+  std::string what;
+  int line = 0;
+};
+
+struct FuncDef {
+  std::vector<std::string> qname;  // {"cnd","nn","Linear","forward_into"}
+  std::string display;             // qname joined with "::"
+  int file = -1;                   // index into Model::files
+  int line = 0;
+  bool hot = false;
+  bool alloc_ok = false;
+  std::string alloc_reason;
+  std::vector<CallSite> calls;
+  std::vector<AllocSite> allocs;
+};
+
+struct FileInfo {
+  std::string vpath;  // repo-relative path used for layer / rule decisions
+  Annotations ann;
+  std::vector<Tok> toks;
+};
+
+struct Model {
+  std::vector<FileInfo> files;
+  std::vector<FuncDef> defs;
+  std::multimap<std::string, std::size_t> by_terminal;
+
+  void index() {
+    by_terminal.clear();
+    for (std::size_t i = 0; i < defs.size(); ++i)
+      by_terminal.insert({defs[i].qname.back(), i});
+  }
+
+  /// All definitions whose qualified name ends with the call's written
+  /// name, component-wise. `A::b` matches `cnd::A::b` but not `cnd::X::b`.
+  std::vector<std::size_t> candidates(const CallSite& c) const {
+    std::vector<std::size_t> out;
+    auto [lo, hi] = by_terminal.equal_range(c.name.back());
+    for (auto it = lo; it != hi; ++it) {
+      const auto& q = defs[it->second].qname;
+      if (q.size() < c.name.size()) continue;
+      bool match = true;
+      for (std::size_t k = 0; k < c.name.size(); ++k)
+        if (q[q.size() - 1 - k] != c.name[c.name.size() - 1 - k]) {
+          match = false;
+          break;
+        }
+      if (match) out.push_back(it->second);
+    }
+    return out;
+  }
+};
+
+const std::set<std::string>& keywords_not_calls() {
+  static const std::set<std::string> kw = {
+      "if",       "for",      "while",    "switch",        "return",
+      "sizeof",   "alignof",  "alignas",  "catch",         "throw",
+      "new",      "delete",   "decltype", "noexcept",      "requires",
+      "typeid",   "static_assert",        "co_await",      "co_yield",
+      "co_return"};
+  return kw;
+}
+
+/// Container methods that can grow the backing allocation. A grow call that
+/// resolves to a first-party definition (e.g. Matrix::resize) is treated as
+/// a call edge instead — the callee is then checked transitively.
+const std::set<std::string>& grow_methods() {
+  static const std::set<std::string> g = {
+      "push_back", "emplace_back", "emplace",       "resize",
+      "reserve",   "insert",       "append",        "assign",
+      "push_front", "emplace_front"};
+  return g;
+}
+
+/// Free functions / factory templates that allocate directly.
+const std::set<std::string>& alloc_idents() {
+  static const std::set<std::string> a = {"make_unique", "make_shared",
+                                          "malloc",      "calloc",
+                                          "realloc",     "strdup",
+                                          "to_string"};
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// Heuristic parser
+// ---------------------------------------------------------------------------
+
+class Parser {
+ public:
+  Parser(Model& model, int file_idx) : model_(model), file_(file_idx) {}
+
+  void run() {
+    const auto& toks = model_.files[static_cast<std::size_t>(file_)].toks;
+    n_ = toks.size();
+    i_ = 0;
+    while (i_ < n_) parse_statement();
+  }
+
+ private:
+  struct Scope {
+    std::vector<std::string> comps;  // may be empty (anonymous)
+  };
+
+  const std::vector<Tok>& toks() const {
+    return model_.files[static_cast<std::size_t>(file_)].toks;
+  }
+  const Annotations& ann() const {
+    return model_.files[static_cast<std::size_t>(file_)].ann;
+  }
+  const Tok& at(std::size_t k) const { return toks()[k]; }
+  bool is(std::size_t k, std::string_view t) const {
+    return k < n_ && at(k).text == t;
+  }
+
+  void skip_balanced(std::string_view open, std::string_view close) {
+    // Assumes toks()[i_] == open.
+    int depth = 0;
+    while (i_ < n_) {
+      if (at(i_).text == open) ++depth;
+      else if (at(i_).text == close && --depth == 0) {
+        ++i_;
+        return;
+      }
+      ++i_;
+    }
+  }
+
+  /// Collect one statement's header tokens until a top-level `;` (discard)
+  /// or `{` (classify). Tracks () and [] depth; template argument lists
+  /// after the `template` keyword are skipped outright.
+  void parse_statement() {
+    std::vector<std::size_t> head;  // indices of header tokens
+    int depth = 0;
+    while (i_ < n_) {
+      const Tok& t = at(i_);
+      if (t.text == "}" && depth == 0) {  // scope close
+        if (!scopes_.empty()) scopes_.pop_back();
+        ++i_;
+        if (is(i_, ";")) ++i_;
+        return;
+      }
+      if (t.text == "template" && depth == 0) {
+        ++i_;
+        if (is(i_, "<")) skip_balanced("<", ">");
+        continue;
+      }
+      if (t.text == ";" && depth == 0) {
+        ++i_;
+        return;  // declaration / expression statement at scope level
+      }
+      if (t.text == ":" && depth == 0 && head.size() == 1 &&
+          (at(head[0]).text == "public" || at(head[0]).text == "private" ||
+           at(head[0]).text == "protected")) {
+        head.clear();  // access specifier label
+        ++i_;
+        continue;
+      }
+      if (t.text == "{" && depth == 0) {
+        classify_braced(head);
+        return;
+      }
+      if (t.text == "(" || t.text == "[") ++depth;
+      if (t.text == ")" || t.text == "]") --depth;
+      head.push_back(i_);
+      ++i_;
+    }
+  }
+
+  void classify_braced(const std::vector<std::size_t>& head) {
+    // i_ points at the `{`.
+    if (head.empty()) {  // bare block at scope level
+      scopes_.push_back({});
+      ++i_;
+      return;
+    }
+    if (at(head[0]).text == "namespace") {
+      Scope s;
+      for (std::size_t k = 1; k < head.size(); ++k)
+        if (at(head[k]).kind == Tk::Ident) s.comps.push_back(at(head[k]).text);
+      scopes_.push_back(std::move(s));
+      ++i_;
+      return;
+    }
+    if (at(head[0]).text == "enum") {  // enum bodies carry no calls
+      skip_balanced("{", "}");
+      if (is(i_, ";")) ++i_;
+      return;
+    }
+    int depth = 0;
+    bool has_eq = false, has_class = false;
+    std::size_t class_kw = 0;
+    for (std::size_t k = 0; k < head.size(); ++k) {
+      const std::string& t = at(head[k]).text;
+      if (t == "(" || t == "[") ++depth;
+      if (t == ")" || t == "]") --depth;
+      // Only a bare assignment `=` marks an initializer statement.
+      // `operator=` / `operator==` headers are function definitions, and a
+      // multi-char operator (`==`, `<=`, …) lexes as single chars here, so
+      // an `=` adjacent to `operator` or another punctuator doesn't count.
+      if (depth == 0 && t == "=") {
+        static const std::set<std::string> not_assign = {
+            "operator", "=", "!", "<", ">", "+", "-", "*", "/", "%",
+            "&",        "|", "^"};
+        const bool prev_op = k > 0 && not_assign.count(at(head[k - 1]).text) &&
+                             at(head[k - 1]).kind != Tk::Ident;
+        const bool prev_operator_kw =
+            k > 0 && at(head[k - 1]).text == "operator";
+        const bool next_eq = k + 1 < head.size() && at(head[k + 1]).text == "=";
+        if (!prev_op && !prev_operator_kw && !next_eq) has_eq = true;
+      }
+      if (depth == 0 && !has_class &&
+          (t == "class" || t == "struct" || t == "union")) {
+        has_class = true;
+        class_kw = k;
+      }
+    }
+    if (has_class && !has_eq) {
+      Scope s;
+      for (std::size_t k = class_kw + 1; k < head.size(); ++k) {
+        const Tok& t = at(head[k]);
+        if (t.text == ":" || t.text == "final") break;
+        if (t.kind == Tk::Ident && !is(head[k] + 1, "("))
+          s.comps.push_back(t.text);
+        if (t.text == "::") continue;
+        if (t.kind == Tk::Punct && t.text != "::") break;
+      }
+      scopes_.push_back(std::move(s));
+      ++i_;
+      return;
+    }
+    if (!has_eq) {
+      std::size_t paren = head.size();  // first top-level fn-name paren
+      int d = 0;
+      for (std::size_t k = 0; k < head.size(); ++k) {
+        const std::string& t = at(head[k]).text;
+        if (t == "(" && d == 0 && k > 0 && plausible_name_end(head, k)) {
+          paren = k;
+          break;
+        }
+        if (t == "(" || t == "[") ++d;
+        if (t == ")" || t == "]") --d;
+      }
+      if (paren < head.size()) {
+        parse_function(head, paren);
+        return;
+      }
+    }
+    // Initializer, lambda assignment, or something we don't model: swallow
+    // the braces, then the rest of the statement.
+    skip_balanced("{", "}");
+    int d2 = 0;
+    while (i_ < n_) {
+      const std::string& t = at(i_).text;
+      if (t == ";" && d2 == 0) {
+        ++i_;
+        return;
+      }
+      if (t == "}" && d2 == 0) return;  // enclosing scope closes; don't eat it
+      if (t == "{" && d2 == 0) {
+        skip_balanced("{", "}");
+        continue;
+      }
+      if (t == "(" || t == "[") ++d2;
+      if (t == ")" || t == "]") --d2;
+      ++i_;
+    }
+  }
+
+  /// Is the token before head[k] (a top-level `(`) the end of a function
+  /// name — an identifier that is not a keyword, or an operator form?
+  bool plausible_name_end(const std::vector<std::size_t>& head,
+                          std::size_t k) const {
+    const Tok& prev = at(head[k - 1]);
+    if (prev.kind == Tk::Ident && !keywords_not_calls().count(prev.text) &&
+        prev.text != "class" && prev.text != "struct" && prev.text != "union" &&
+        prev.text != "void" && prev.text != "bool" && prev.text != "int" &&
+        prev.text != "double" && prev.text != "char" && prev.text != "auto" &&
+        prev.text != "float" && prev.text != "long" && prev.text != "short" &&
+        prev.text != "unsigned" && prev.text != "signed" &&
+        prev.text != "const" && prev.text != "constexpr")
+      return true;
+    // operator+, operator==, operator[], operator() …
+    for (std::size_t back = 1; back <= 3 && back < k; ++back)
+      if (at(head[k - back]).text == "operator") return true;
+    return false;
+  }
+
+  void parse_function(const std::vector<std::size_t>& head, std::size_t paren) {
+    FuncDef def;
+    def.file = file_;
+    def.line = at(head[0]).line;
+
+    // Name: walk back from the paren through `ident (:: ident)*`, with
+    // `operator…` and `~Dtor` forms.
+    std::vector<std::string> name;
+    std::size_t k = paren;  // head index just past the name
+    bool is_operator = false;
+    for (std::size_t back = 1; back <= 3 && back < paren; ++back)
+      if (at(head[paren - back]).text == "operator") {
+        is_operator = true;
+        break;
+      }
+    if (is_operator) {
+      name.push_back("operator()");
+    } else {
+      std::size_t j = paren;  // index of token after current name component
+      while (j >= 1 && at(head[j - 1]).kind == Tk::Ident) {
+        std::string comp = at(head[j - 1]).text;
+        std::size_t step = 1;
+        if (j >= 2 && at(head[j - 2]).text == "~") {
+          comp = "~" + comp;
+          ++step;
+        }
+        name.insert(name.begin(), comp);
+        j -= step;
+        if (j >= 2 && at(head[j - 1]).text == "::" &&
+            at(head[j - 2]).kind == Tk::Ident)
+          j -= 1;  // consume `::`, loop picks up the qualifier
+        else
+          break;
+      }
+      (void)k;
+    }
+    if (name.empty()) {  // could not name it; treat as opaque braces
+      skip_balanced("{", "}");
+      return;
+    }
+    for (const Scope& s : scopes_)
+      for (const std::string& c : s.comps) def.qname.push_back(c);
+    for (const std::string& c : name) def.qname.push_back(c);
+    for (std::size_t q = 0; q < def.qname.size(); ++q)
+      def.display += (q ? "::" : "") + def.qname[q];
+
+    // Annotations bind to the header's line span (plus the line above).
+    const int h0 = at(head[0]).line;
+    const int h1 = at(i_).line;  // the `{`
+    for (int ln = h0 - 1; ln <= h1; ++ln) {
+      if (ann().hot_lines.count(ln)) def.hot = true;
+      auto it = ann().alloc_ok_lines.find(ln);
+      if (it != ann().alloc_ok_lines.end()) {
+        def.alloc_ok = true;
+        def.alloc_reason = it->second;
+      }
+    }
+
+    // Body: everything from the matching `)` of the parameter list to the
+    // end of the braced body — so constructor init lists are covered, while
+    // default-argument expressions inside the parameter list are not.
+    scan_body(def);
+    model_.defs.push_back(std::move(def));
+  }
+
+  void scan_body(FuncDef& def) {
+    // i_ points at the `{` that opens the body; ctor-init calls between the
+    // parameter list and the `{` were part of the header and are rescanned
+    // here via `head` — simpler: scan from the `{` only, then walk the
+    // header tail separately? The header tail tokens are already gone, so
+    // scan the braced body plus nothing else. Ctor-init member "calls"
+    // (`gen_(seed)`) carry no first-party definitions, so skipping them
+    // loses nothing that the tests don't cover elsewhere.
+    int depth = 0;
+    while (i_ < n_) {
+      const Tok& t = at(i_);
+      if (t.text == "{") ++depth;
+      if (t.text == "}" && --depth == 0) {
+        ++i_;
+        return;
+      }
+      if (t.kind == Tk::Ident) record_ident(def);
+      ++i_;
+    }
+  }
+
+  void record_ident(FuncDef& def) {
+    const Tok& t = at(i_);
+    if (t.text == "new") {
+      if (i_ == 0 || at(i_ - 1).text != "operator")
+        def.allocs.push_back({"operator new", t.line});
+      return;
+    }
+    if (alloc_idents().count(t.text) && (is(i_ + 1, "(") || is(i_ + 1, "<"))) {
+      def.allocs.push_back({t.text + "()", t.line});
+      return;
+    }
+    if (!is(i_ + 1, "(")) return;
+    if (keywords_not_calls().count(t.text)) return;
+    CallSite call;
+    call.line = t.line;
+    call.name.push_back(t.text);
+    std::size_t j = i_;
+    while (j >= 2 && at(j - 1).text == "::" && at(j - 2).kind == Tk::Ident) {
+      call.name.insert(call.name.begin(), at(j - 2).text);
+      j -= 2;
+    }
+    call.member =
+        j >= 1 && (at(j - 1).text == "." || at(j - 1).text == "->");
+    if (!call.member && j >= 1) {
+      // `Type name(args)` is a local declaration, not a call: skip when the
+      // (chain-leading) name is directly preceded by another identifier or
+      // the closing `>` of a template argument list
+      // (`std::vector<std::size_t> assign(x.rows())`). Keyword contexts
+      // (`return f(x)`, `else f()`, …) still count as calls.
+      static const std::set<std::string> call_ctx = {
+          "return", "else",      "do",       "throw",    "case",
+          "goto",   "co_return", "co_yield", "co_await", "new",
+          "delete", "sizeof"};
+      const Tok& before = at(j - 1);
+      if ((before.kind == Tk::Ident && !call_ctx.count(before.text)) ||
+          before.text == ">")
+        return;
+    }
+    call.grow = grow_methods().count(call.name.back()) > 0;
+    def.calls.push_back(std::move(call));
+  }
+
+  Model& model_;
+  int file_;
+  std::size_t n_ = 0;
+  std::size_t i_ = 0;
+  std::vector<Scope> scopes_;
+};
+
+// ---------------------------------------------------------------------------
+// Checks
+// ---------------------------------------------------------------------------
+
+bool line_allowed(const Model& m, int file, int line, const std::string& rule) {
+  const auto& allows = m.files[static_cast<std::size_t>(file)].ann.allows;
+  auto it = allows.find(line);
+  return it != allows.end() && it->second.count(rule) > 0;
+}
+
+const std::string& vpath_of(const Model& m, int file) {
+  return m.files[static_cast<std::size_t>(file)].vpath;
+}
+
+/// Layer of a repo-relative path, or "" when the file is outside the layer
+/// DAG. Mirrors tools/cnd_lint.py (LAYER_DEPS) — keep the two in sync.
+std::string layer_of(const std::string& vpath) {
+  if (vpath.rfind("src/", 0) != 0) return {};
+  const std::size_t slash = vpath.find('/', 4);
+  if (slash == std::string::npos) return {};
+  static const std::set<std::string> layers = {
+      "obs",  "runtime", "tensor", "linalg",    "nn",
+      "ml",   "data",    "eval",   "core",      "io",
+      "baselines"};
+  const std::string layer = vpath.substr(4, slash - 4);
+  return layers.count(layer) ? layer : std::string{};
+}
+
+const std::map<std::string, std::set<std::string>>& layer_deps() {
+  static const std::map<std::string, std::set<std::string>> deps = {
+      {"obs", {}},
+      {"runtime", {"obs"}},
+      {"tensor", {"runtime", "obs"}},
+      {"linalg", {"tensor", "runtime", "obs"}},
+      {"nn", {"linalg", "tensor", "runtime", "obs"}},
+      {"ml", {"nn", "linalg", "tensor", "runtime", "obs"}},
+      {"data", {"ml", "nn", "linalg", "tensor", "runtime", "obs"}},
+      {"eval", {"tensor", "runtime", "obs"}},
+      {"core",
+       {"eval", "data", "ml", "nn", "linalg", "tensor", "runtime", "obs"}},
+      {"io",
+       {"core", "eval", "data", "ml", "nn", "linalg", "tensor", "runtime",
+        "obs"}},
+      {"baselines",
+       {"core", "eval", "data", "ml", "nn", "linalg", "tensor", "runtime",
+        "obs"}},
+  };
+  return deps;
+}
+
+/// cnd_factory spans core+baselines by design (src/CMakeLists.txt).
+bool layering_extra_ok(const std::string& vpath, const std::string& callee) {
+  return callee == "baselines" &&
+         (vpath == "src/core/detector_factory.cpp" ||
+          vpath == "src/core/detector_factory.hpp");
+}
+
+void check_hot_paths(const Model& m, std::vector<Finding>& out) {
+  const std::string rule = "hot-path-alloc";
+  std::set<std::pair<std::string, int>> reported;
+  for (std::size_t root = 0; root < m.defs.size(); ++root) {
+    if (!m.defs[root].hot) continue;
+    std::vector<std::size_t> stack = {root};
+    std::set<std::size_t> visited = {root};
+    while (!stack.empty()) {
+      const std::size_t cur = stack.back();
+      stack.pop_back();
+      const FuncDef& d = m.defs[cur];
+      for (const AllocSite& a : d.allocs) {
+        if (line_allowed(m, d.file, a.line, rule)) continue;
+        if (!reported.insert({vpath_of(m, d.file), a.line}).second) continue;
+        out.push_back({vpath_of(m, d.file), a.line, rule,
+                       "'" + d.display + "' (reachable from hot '" +
+                           m.defs[root].display + "') allocates: " + a.what});
+      }
+      for (const CallSite& c : d.calls) {
+        const auto cands = m.candidates(c);
+        if (c.grow && cands.empty()) {
+          if (line_allowed(m, d.file, c.line, rule)) continue;
+          if (!reported.insert({vpath_of(m, d.file), c.line}).second) continue;
+          std::string name;
+          for (std::size_t q = 0; q < c.name.size(); ++q)
+            name += (q ? "::" : "") + c.name[q];
+          out.push_back({vpath_of(m, d.file), c.line, rule,
+                         "'" + d.display + "' (reachable from hot '" +
+                             m.defs[root].display +
+                             "') calls growing container method '" + name +
+                             "()'"});
+          continue;
+        }
+        for (std::size_t cand : cands) {
+          if (m.defs[cand].alloc_ok) continue;  // annotated barrier
+          if (visited.insert(cand).second) stack.push_back(cand);
+        }
+      }
+    }
+  }
+}
+
+void check_layering(const Model& m, std::vector<Finding>& out) {
+  const std::string rule = "layering-transitive";
+  std::set<std::tuple<std::string, int, std::string>> reported;
+  for (const FuncDef& d : m.defs) {
+    const std::string caller_layer = layer_of(vpath_of(m, d.file));
+    if (caller_layer.empty()) continue;
+    const std::set<std::string>& allowed = layer_deps().at(caller_layer);
+    for (const CallSite& c : d.calls) {
+      // Unqualified single-name calls (`x.size()`, a local's `operator()`,
+      // an ADL call) match any definition with that terminal name — pure
+      // noise at layer granularity. Objects or functions of a cross-layer
+      // type cannot appear without an illegal include, which cnd_lint's
+      // include rule already catches; the call-graph check earns its keep
+      // on qualified calls, including those through forward declarations
+      // that the include rule cannot see.
+      if (c.name.size() < 2) continue;
+      const auto cands = m.candidates(c);
+      if (cands.empty()) continue;
+      // Flag only when *every* plausible target is illegal: name matching
+      // is approximate, so one legal candidate vetoes the finding.
+      bool all_bad = true;
+      std::string example;
+      for (std::size_t cand : cands) {
+        const std::string callee_layer =
+            layer_of(vpath_of(m, m.defs[cand].file));
+        const bool ok = callee_layer.empty() || callee_layer == caller_layer ||
+                        allowed.count(callee_layer) > 0 ||
+                        layering_extra_ok(vpath_of(m, d.file), callee_layer);
+        if (ok) {
+          all_bad = false;
+          break;
+        }
+        example = "'" + m.defs[cand].display + "' (layer " + callee_layer + ")";
+      }
+      if (!all_bad) continue;
+      if (line_allowed(m, d.file, c.line, rule)) continue;
+      if (!reported.insert({vpath_of(m, d.file), c.line, example}).second)
+        continue;
+      out.push_back({vpath_of(m, d.file), c.line, rule,
+                     "'" + d.display + "' (layer " + caller_layer +
+                         ") calls " + example +
+                         ", not reachable in the layer DAG"});
+    }
+  }
+}
+
+void check_rng_confinement(const Model& m, std::vector<Finding>& out) {
+  const std::string rule = "rng-confinement";
+  // Names assembled from pieces so this tool's own source stays clean under
+  // its own scan and under cnd_lint's regexes.
+  static const std::string kDistSuffix = std::string("_distri") + "bution";
+  static const std::set<std::string> engines = {
+      std::string("mt19") + "937",       std::string("mt19") + "937_64",
+      std::string("minstd_") + "rand",   std::string("minstd_") + "rand0",
+      std::string("ranlux") + "24",      std::string("ranlux") + "48",
+      std::string("ranlux") + "24_base", std::string("ranlux") + "48_base",
+      std::string("knuth") + "_b",       std::string("default_random_") + "engine",
+      std::string("random_") + "device"};
+  for (std::size_t f = 0; f < m.files.size(); ++f) {
+    const std::string& vpath = m.files[f].vpath;
+    if (vpath == "src/tensor/rng.cpp" || vpath == "src/tensor/rng.hpp")
+      continue;
+    const auto& toks = m.files[f].toks;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != Tk::Ident) continue;
+      const std::string& t = toks[i].text;
+      std::string what;
+      if (t.size() > kDistSuffix.size() &&
+          t.compare(t.size() - kDistSuffix.size(), kDistSuffix.size(),
+                    kDistSuffix) == 0)
+        what = "std distribution '" + t + "'";
+      else if (engines.count(t))
+        what = "raw RNG engine '" + t + "'";
+      else if (t == "engine" && i + 3 < toks.size() && i >= 1 &&
+               (toks[i - 1].text == "." || toks[i - 1].text == "->") &&
+               toks[i + 1].text == "(" && toks[i + 2].text == ")" &&
+               toks[i + 3].text == "(")
+        what = "raw engine draw via '.engine()()'";
+      if (what.empty()) continue;
+      if (line_allowed(m, static_cast<int>(f), toks[i].line, rule)) continue;
+      out.push_back({vpath, toks[i].line, rule,
+                     what + " outside src/tensor/rng.cpp — portable streams "
+                            "live there (DESIGN.md §4)"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Drivers
+// ---------------------------------------------------------------------------
+
+bool read_file(const fs::path& p, std::string& out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+int add_file(Model& m, const std::string& vpath, const std::string& text,
+             bool parse_defs) {
+  FileInfo fi;
+  fi.vpath = vpath;
+  lex(text, fi.toks, fi.ann);
+  m.files.push_back(std::move(fi));
+  const int idx = static_cast<int>(m.files.size()) - 1;
+  if (parse_defs) Parser(m, idx).run();
+  return idx;
+}
+
+std::vector<Finding> run_checks(Model& m) {
+  m.index();
+  std::vector<Finding> findings;
+  check_hot_paths(m, findings);
+  check_layering(m, findings);
+  check_rng_confinement(m, findings);
+  std::sort(findings.begin(), findings.end());
+  return findings;
+}
+
+void print_findings(const std::vector<Finding>& findings) {
+  for (const Finding& f : findings)
+    std::printf("%s:%d: %s: %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+}
+
+/// Pull every `"file": "…"` value out of compile_commands.json. The format
+/// is machine-generated and flat, so a targeted scan beats a JSON library.
+std::vector<std::string> compile_command_files(const std::string& json) {
+  std::vector<std::string> out;
+  const std::string key = "\"file\"";
+  std::size_t pos = 0;
+  while ((pos = json.find(key, pos)) != std::string::npos) {
+    pos += key.size();
+    while (pos < json.size() &&
+           (json[pos] == ' ' || json[pos] == ':' || json[pos] == '\t'))
+      ++pos;
+    if (pos >= json.size() || json[pos] != '"') continue;
+    ++pos;
+    std::string val;
+    while (pos < json.size() && json[pos] != '"') {
+      if (json[pos] == '\\' && pos + 1 < json.size()) ++pos;
+      val += json[pos++];
+    }
+    out.push_back(val);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool skip_vpath(const std::string& vpath) {
+  return vpath.find("lint_selftest") != std::string::npos ||
+         vpath.find("analyze_selftest") != std::string::npos ||
+         vpath.rfind("build/", 0) == 0;
+}
+
+int run_tree(const fs::path& compile_commands, const fs::path& root,
+             bool list_hot) {
+  std::string json;
+  if (!read_file(compile_commands, json)) {
+    std::fprintf(stderr, "cnd_analyze: cannot read %s\n",
+                 compile_commands.string().c_str());
+    return 2;
+  }
+  const fs::path root_abs = fs::weakly_canonical(root);
+
+  std::set<std::string> vpaths;  // repo-relative, deduped
+  for (const std::string& f : compile_command_files(json)) {
+    const fs::path p = fs::weakly_canonical(f);
+    const fs::path rel = p.lexically_relative(root_abs);
+    if (rel.empty() || rel.begin()->string() == "..") continue;
+    const std::string vpath = rel.generic_string();
+    if (!skip_vpath(vpath)) vpaths.insert(vpath);
+  }
+  // Headers never appear in compile_commands; pick them up directly so
+  // inline hot-path code (layer defaults, parallel_for) is modeled too.
+  for (const char* dir : {"src", "tests", "bench", "tools", "examples"}) {
+    const fs::path base = root_abs / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& e : fs::recursive_directory_iterator(base)) {
+      if (!e.is_regular_file()) continue;
+      const std::string ext = e.path().extension().string();
+      if (ext != ".hpp" && ext != ".h") continue;
+      const std::string vpath =
+          e.path().lexically_relative(root_abs).generic_string();
+      if (!skip_vpath(vpath)) vpaths.insert(vpath);
+    }
+  }
+  if (vpaths.empty()) {
+    std::fprintf(stderr, "cnd_analyze: no first-party files found under %s\n",
+                 root_abs.string().c_str());
+    return 2;
+  }
+
+  Model m;
+  for (const std::string& vpath : vpaths) {
+    std::string text;
+    if (!read_file(root_abs / vpath, text)) {
+      std::fprintf(stderr, "cnd_analyze: cannot read %s\n", vpath.c_str());
+      return 2;
+    }
+    // The call-graph model covers src/ — the library code the contracts
+    // bind. Tests/bench/tools are still scanned for RNG confinement.
+    add_file(m, vpath, text, vpath.rfind("src/", 0) == 0);
+  }
+
+  const std::vector<Finding> findings = run_checks(m);
+
+  std::size_t hot = 0, barriers = 0;
+  for (const FuncDef& d : m.defs) {
+    hot += d.hot ? 1 : 0;
+    barriers += d.alloc_ok ? 1 : 0;
+  }
+  if (hot == 0) {
+    std::fprintf(stderr,
+                 "cnd_analyze: no `cnd-hot` roots found — annotations "
+                 "missing or parser regression\n");
+    return 2;
+  }
+  if (list_hot) {
+    for (const FuncDef& d : m.defs) {
+      if (d.hot)
+        std::printf("hot       %s (%s:%d)\n", d.display.c_str(),
+                    vpath_of(m, d.file).c_str(), d.line);
+      if (d.alloc_ok)
+        std::printf("alloc-ok  %s (%s:%d) — %s\n", d.display.c_str(),
+                    vpath_of(m, d.file).c_str(), d.line,
+                    d.alloc_reason.c_str());
+    }
+  }
+  print_findings(findings);
+  std::fprintf(stderr,
+               "cnd_analyze: %zu files, %zu functions, %zu hot roots, %zu "
+               "alloc-ok barriers, %zu findings\n",
+               m.files.size(), m.defs.size(), hot, barriers, findings.size());
+  return findings.empty() ? 0 : 1;
+}
+
+int run_selftest(const fs::path& dir) {
+  if (!fs::exists(dir)) {
+    std::fprintf(stderr, "cnd_analyze: no such fixture dir %s\n",
+                 dir.string().c_str());
+    return 2;
+  }
+  std::size_t failures = 0, cases = 0;
+  for (const char* kind : {"good", "bad"}) {
+    const fs::path base = dir / kind;
+    if (!fs::exists(base)) continue;
+    std::vector<fs::path> case_dirs;
+    for (const auto& e : fs::directory_iterator(base))
+      if (e.is_directory()) case_dirs.push_back(e.path());
+    std::sort(case_dirs.begin(), case_dirs.end());
+    for (const fs::path& cdir : case_dirs) {
+      ++cases;
+      Model m;
+      std::set<std::string> expected;
+      std::vector<fs::path> files;
+      for (const auto& e : fs::directory_iterator(cdir))
+        if (e.is_regular_file()) files.push_back(e.path());
+      std::sort(files.begin(), files.end());
+      bool io_error = false;
+      for (const fs::path& f : files) {
+        std::string text;
+        if (!read_file(f, text)) {
+          std::fprintf(stderr, "cnd_analyze: cannot read %s\n",
+                       f.string().c_str());
+          io_error = true;
+          break;
+        }
+        const int idx = add_file(m, f.filename().string(), text, false);
+        FileInfo& fi = m.files[static_cast<std::size_t>(idx)];
+        // Fixtures declare the virtual path that drives layer / rng
+        // decisions; re-parse under that identity.
+        if (!fi.ann.fixture_path.empty()) fi.vpath = fi.ann.fixture_path;
+        Parser(m, idx).run();
+        for (const std::string& r : fi.ann.expects) expected.insert(r);
+      }
+      if (io_error) {
+        ++failures;
+        continue;
+      }
+      std::set<std::string> found;
+      const std::vector<Finding> findings = run_checks(m);
+      for (const Finding& f : findings) found.insert(f.rule);
+      const std::string label =
+          std::string(kind) + "/" + cdir.filename().string();
+      if (found == expected) {
+        std::printf("[PASS] %s\n", label.c_str());
+      } else {
+        ++failures;
+        auto join = [](const std::set<std::string>& s) {
+          std::string out;
+          for (const std::string& r : s) out += (out.empty() ? "" : ", ") + r;
+          return out.empty() ? std::string("none") : out;
+        };
+        std::printf("[FAIL] %s: expected {%s}, found {%s}\n", label.c_str(),
+                    join(expected).c_str(), join(found).c_str());
+        print_findings(findings);
+      }
+    }
+  }
+  std::printf("cnd_analyze selftest: %zu cases, %zu failures\n", cases,
+              failures);
+  return failures == 0 ? 0 : 1;
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  cnd_analyze --compile-commands <json> --root <repo-root> [--list-hot]\n"
+      "  cnd_analyze --selftest <fixture-dir>\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string compile_commands, root = ".", selftest;
+  bool list_hot = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--compile-commands") {
+      const char* v = next();
+      if (!v) {
+        usage();
+        return 2;
+      }
+      compile_commands = v;
+    } else if (arg == "--root") {
+      const char* v = next();
+      if (!v) {
+        usage();
+        return 2;
+      }
+      root = v;
+    } else if (arg == "--selftest") {
+      const char* v = next();
+      if (!v) {
+        usage();
+        return 2;
+      }
+      selftest = v;
+    } else if (arg == "--list-hot") {
+      list_hot = true;
+    } else {
+      usage();
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    }
+  }
+  if (!selftest.empty()) return run_selftest(selftest);
+  if (compile_commands.empty()) {
+    usage();
+    return 2;
+  }
+  return run_tree(compile_commands, root, list_hot);
+}

@@ -13,6 +13,12 @@ machine-checked:
                     std::rand/srand/std::random_device/raw std::mt19937 are
                     banned everywhere else; random_device and time-based
                     seeding break run-to-run reproducibility.
+  no-std-distribution
+                    std::*_distribution adapters are banned outside
+                    src/tensor/rng.{hpp,cpp}: their algorithms are
+                    implementation-defined, so the same seed draws different
+                    values on different standard libraries. Draw through the
+                    portable algorithms in cnd::Rng instead.
   no-clock          Clock reads live in src/obs only. Timing anywhere else
                     either belongs in the observability layer or is a
                     measurement surface that needs an explicit allow.
@@ -56,6 +62,7 @@ from dataclasses import dataclass
 
 RULES = {
     "no-raw-rng": "raw RNG outside the cnd::Rng seed plumbing (src/tensor/rng.*)",
+    "no-std-distribution": "std distribution outside src/tensor/rng.* (non-portable stream)",
     "no-clock": "clock read outside src/obs",
     "no-unordered-iter": "iteration over an unordered container (unspecified order)",
     "no-float": "float arithmetic in a bit-exactness layer (use double)",
@@ -105,6 +112,7 @@ CLOCK_ALLOWED_PREFIXES = ("src/obs/",)
 RE_RAW_RNG = re.compile(
     r"std\s*::\s*rand\b|\bsrand\s*\(|\brandom_device\b|std\s*::\s*(mt19937|minstd_rand|ranlux)"
 )
+RE_STD_DISTRIBUTION = re.compile(r"\b\w+_distribution\b")
 RE_CLOCK = re.compile(
     # `\w*clock` also catches type aliases like `using clock = steady_clock`.
     r"\b\w*clock\s*::\s*now\b"
@@ -243,6 +251,12 @@ def lint_file(vpath: str, text: str) -> list[Finding]:
             report(idx, "no-raw-rng",
                    "raw RNG primitive; derive a stream from cnd::Rng instead")
 
+        if not raw_rng_exempt and RE_STD_DISTRIBUTION.search(line):
+            report(idx, "no-std-distribution",
+                   "std distribution adapters draw implementation-defined "
+                   "streams; use the portable algorithms in cnd::Rng "
+                   "(src/tensor/rng.cpp)")
+
         if not clock_exempt and RE_CLOCK.search(line):
             report(idx, "no-clock",
                    "clock read outside src/obs; route timing through the "
@@ -354,11 +368,13 @@ def check_registry_coverage(root: str) -> list[Finding]:
 
 
 def iter_tree_files(root: str):
-    skip_dir = os.path.join("tools", "lint_selftest")
+    # Both fixture corpora exist to violate rules on purpose.
+    skip_dirs = (os.path.join("tools", "lint_selftest"),
+                 os.path.join("tools", "analyze_selftest"))
     for d in SCAN_DIRS:
         base = os.path.join(root, d)
         for dirpath, dirnames, filenames in os.walk(base):
-            if os.path.relpath(dirpath, root).startswith(skip_dir):
+            if os.path.relpath(dirpath, root).startswith(skip_dirs):
                 dirnames[:] = []
                 continue
             for fn in sorted(filenames):

@@ -1,5 +1,6 @@
 // cnd-lint self-test corpus: the documented seed plumbing may own a raw
-// engine — this path is the one exemption for no-raw-rng.
+// engine — this path is the one exemption for no-raw-rng and
+// no-std-distribution.
 // cnd-lint-path: src/tensor/rng.hpp
 #pragma once
 
@@ -14,6 +15,7 @@ class FakeRng {
 
  private:
   std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
 };
 
 }  // namespace cnd
