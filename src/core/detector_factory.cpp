@@ -57,6 +57,7 @@ class FrozenScorer final : public ContinualDetector {
 struct Entry {
   DetectorKind kind;
   DetectorFactory factory;
+  std::string description;
 };
 
 struct Registry {
@@ -77,26 +78,37 @@ std::unique_ptr<ContinualDetector> frozen(const std::string& name,
 }
 
 void register_builtins(Registry& r) {
-  auto add = [&](const std::string& name, DetectorKind kind, DetectorFactory f) {
-    r.entries.emplace(name, Entry{kind, std::move(f)});
+  auto add = [&](const std::string& name, DetectorKind kind, DetectorFactory f,
+                 std::string description) {
+    r.entries.emplace(name, Entry{kind, std::move(f), std::move(description)});
   };
 
   // Continual detectors.
   add("CND-IDS", DetectorKind::kContinual, [](const DetectorConfig& c) {
     return std::make_unique<CndIds>(c.cnd);
-  });
+  },
+      "the paper's detector: CFE encoder + PCA scoring, refits every "
+      "experience");
+  add("Adaptive", DetectorKind::kContinual, [](const DetectorConfig& c) {
+    return std::make_unique<AdaptiveCndIds>(c.cnd, c.adaptive);
+  },
+      "drift-gated CND-IDS: Page-Hinkley on stream scores decides when to "
+      "refit");
   add("ADCN", DetectorKind::kContinual, [](const DetectorConfig& c) {
     return std::make_unique<baselines::Adcn>(c.adcn);
-  });
+  },
+      "UCL baseline: autonomous deep clustering network");
   add("LwF", DetectorKind::kContinual, [](const DetectorConfig& c) {
     return std::make_unique<baselines::Lwf>(c.lwf);
-  });
+  },
+      "UCL baseline: learning-without-forgetting classifier");
 
   // Static novelty detectors: fit on the clean-normal holdout N_c.
   add("PCA", DetectorKind::kStaticNovelty, [](const DetectorConfig& c) {
     return frozen("PCA", DetectorKind::kStaticNovelty, ml::Pca(c.pca),
                   [](ml::Pca& d, const Matrix& x) { d.fit(x); });
-  });
+  },
+      "static novelty: PCA feature reconstruction error, fit on N_c");
   add("DIF", DetectorKind::kStaticNovelty, [](const DetectorConfig& c) {
     const std::uint64_t seed = c.seed;
     return frozen("DIF", DetectorKind::kStaticNovelty,
@@ -105,7 +117,8 @@ void register_builtins(Registry& r) {
                     Rng rng(seed);
                     d.fit(x, rng);
                   });
-  });
+  },
+      "static novelty: deep isolation forest, fit on N_c");
   add("GMM", DetectorKind::kStaticNovelty, [](const DetectorConfig& c) {
     const std::uint64_t seed = c.seed;
     return frozen("GMM", DetectorKind::kStaticNovelty, ml::Gmm(c.gmm),
@@ -113,36 +126,43 @@ void register_builtins(Registry& r) {
                     Rng rng(seed);
                     d.fit(x, rng);
                   });
-  });
+  },
+      "static novelty: Gaussian mixture negative log-likelihood");
   add("Maha", DetectorKind::kStaticNovelty, [](const DetectorConfig& c) {
     return frozen("Maha", DetectorKind::kStaticNovelty,
                   ml::MahalanobisDetector(c.maha),
                   [](ml::MahalanobisDetector& d, const Matrix& x) { d.fit(x); });
-  });
+  },
+      "static novelty: Mahalanobis distance to the N_c distribution");
   add("kNN", DetectorKind::kStaticNovelty, [](const DetectorConfig& c) {
     return frozen("kNN", DetectorKind::kStaticNovelty, ml::KnnDetector(c.knn),
                   [](ml::KnnDetector& d, const Matrix& x) { d.fit(x); });
-  });
+  },
+      "static novelty: k-nearest-neighbor distance to N_c");
   add("HBOS", DetectorKind::kStaticNovelty, [](const DetectorConfig& c) {
     return frozen("HBOS", DetectorKind::kStaticNovelty, ml::Hbos(c.hbos),
                   [](ml::Hbos& d, const Matrix& x) { d.fit(x); });
-  });
+  },
+      "static novelty: histogram-based outlier score");
   add("AE", DetectorKind::kStaticNovelty, [](const DetectorConfig& c) {
     return frozen("AE", DetectorKind::kStaticNovelty,
                   ml::AeDetector(c.ae, c.seed),
                   [](ml::AeDetector& d, const Matrix& x) { d.fit(x); });
-  });
+  },
+      "static novelty: autoencoder reconstruction error");
 
   // Static outlier detectors: fit on the first observed stream (Faber et
   // al. [15] usage), frozen afterwards.
   add("LOF", DetectorKind::kStaticOutlier, [](const DetectorConfig& c) {
     return frozen("LOF", DetectorKind::kStaticOutlier, ml::Lof(c.lof),
                   [](ml::Lof& d, const Matrix& x) { d.fit(x); });
-  });
+  },
+      "static outlier: local outlier factor, fit on the first stream");
   add("OC-SVM", DetectorKind::kStaticOutlier, [](const DetectorConfig& c) {
     return frozen("OC-SVM", DetectorKind::kStaticOutlier, ml::OcSvm(c.ocsvm),
                   [](ml::OcSvm& d, const Matrix& x) { d.fit(x); });
-  });
+  },
+      "static outlier: one-class SVM, fit on the first stream");
 }
 
 Registry& registry() {
@@ -180,6 +200,10 @@ DetectorKind detector_kind(const std::string& name) {
   return lookup(name).kind;
 }
 
+std::string detector_description(const std::string& name) {
+  return lookup(name).description;
+}
+
 std::vector<std::string> detector_names() {
   Registry& r = registry();
   std::lock_guard<std::mutex> lk(r.mutex);
@@ -190,11 +214,11 @@ std::vector<std::string> detector_names() {
 }
 
 bool register_detector(const std::string& name, DetectorKind kind,
-                       DetectorFactory factory) {
+                       DetectorFactory factory, std::string description) {
   Registry& r = registry();
   std::lock_guard<std::mutex> lk(r.mutex);
   const bool replaced = r.entries.count(name) > 0;
-  r.entries[name] = Entry{kind, std::move(factory)};
+  r.entries[name] = Entry{kind, std::move(factory), std::move(description)};
   return replaced;
 }
 

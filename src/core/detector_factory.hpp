@@ -1,9 +1,9 @@
 // Unified detector factory and registry.
 //
 // Every detector the experiments compare — the continual methods (CND-IDS,
-// ADCN, LwF) and the static novelty/outlier baselines (PCA, DIF, GMM, Maha,
-// kNN, HBOS, AE, LOF, OC-SVM) — is constructible by name through
-// make_detector(). The registry's names are the single source of truth for
+// its drift-gated Adaptive variant, ADCN, LwF) and the static
+// novelty/outlier baselines (PCA, DIF, GMM, Maha, kNN, HBOS, AE, LOF,
+// OC-SVM) — is constructible by name through make_detector(). The registry's names are the single source of truth for
 // the detector identifiers written into result CSVs, so a bench and the CLI
 // can never drift apart on what "DIF" means.
 //
@@ -27,6 +27,7 @@
 
 #include "baselines/adcn.hpp"
 #include "baselines/lwf.hpp"
+#include "core/adaptive_cnd_ids.hpp"
 #include "core/cnd_ids.hpp"
 #include "core/detector.hpp"
 #include "core/experience_runner.hpp"
@@ -54,6 +55,9 @@ struct DetectorConfig {
   CndIdsConfig cnd;
   baselines::AdcnConfig adcn;
   baselines::LwfConfig lwf;
+  /// Drift-gate knobs for "Adaptive" (which shares `cnd` for its inner
+  /// CND-IDS model).
+  AdaptiveTriggerConfig adaptive;
 
   ml::PcaConfig pca{.explained_variance = 0.95};
   ml::DeepIsolationForestConfig dif{.n_representations = 24, .trees_per_repr = 6};
@@ -87,10 +91,14 @@ DetectorKind detector_kind(const std::string& name);
 /// Every registered name, sorted.
 std::vector<std::string> detector_names();
 
+/// One-line human description of a registered detector (shown by
+/// `cnd detectors`); throws std::invalid_argument when unknown.
+std::string detector_description(const std::string& name);
+
 /// Add (or replace) a registry entry. Returns true when a previous entry
 /// with the same name was replaced. Thread-safe.
 bool register_detector(const std::string& name, DetectorKind kind,
-                       DetectorFactory factory);
+                       DetectorFactory factory, std::string description = "");
 
 /// Construct `name` and drive it through the evaluation protocol:
 /// continual detectors through run_protocol, static ones through a

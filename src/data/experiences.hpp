@@ -8,7 +8,9 @@
 //     normal traffic plus the attack families first appearing in that
 //     experience) and a labeled test split.
 // Attack families are partitioned across experiences (|C|/m per experience)
-// so future experiences contain genuinely unseen (zero-day) families.
+// so future experiences contain genuinely unseen (zero-day) families — or
+// spread across all of them (FamilyPartition::kSpread) for the
+// domain-incremental scenarios in src/scenario.
 #pragma once
 
 #include <cstdint>
@@ -35,12 +37,33 @@ struct ExperienceSet {
   std::size_t size() const { return experiences.size(); }
 };
 
+/// How attack families map onto experiences (docs/SCENARIOS.md).
+enum class FamilyPartition {
+  /// Paper §III-A: families split across experiences in first-appearance
+  /// order, so later experiences contain genuinely unseen (zero-day)
+  /// families — class-incremental in Avalanche terms.
+  kIncremental,
+  /// Every family appears in every experience (each family's rows are cut
+  /// into m contiguous slices, like the normal stream). Domain-incremental /
+  /// task-free in Avalanche terms: what changes between experiences is the
+  /// input distribution, never the label space.
+  kSpread,
+};
+
 struct PrepConfig {
   std::size_t n_experiences = 5;   ///< m.
   double clean_frac = 0.10;        ///< |N_c| / |N|.
   double train_frac = 0.70;        ///< train/test split within an experience.
   bool standardize = true;         ///< z-score using N_c statistics.
   std::uint64_t seed = 7;
+  FamilyPartition family_partition = FamilyPartition::kIncremental;
+  /// When > 0, experience e's *training* stream swaps an extra
+  /// `contamination_ramp * e / (m-1)` share of its normal rows for attack
+  /// rows already present in the same training split — a deployment whose
+  /// stream hygiene degrades over time. Test splits, labels, and N_c are
+  /// untouched, and 0 (the default) reproduces the paper protocol
+  /// byte-for-byte (no extra RNG draws).
+  double contamination_ramp = 0.0;
 };
 
 /// Implements Algorithm/§III-A. Throws std::invalid_argument when the

@@ -1,5 +1,6 @@
 #include "eval/cl_metrics.hpp"
 
+#include <algorithm>
 #include <iomanip>
 #include <sstream>
 
@@ -41,6 +42,40 @@ double ClResultMatrix::bwd_transfer() const {
   for (std::size_t i = 0; i < m(); ++i) s += r_(last, i) - r_(i, i);
   const double pairs = static_cast<double>(m() * (m() - 1)) / 2.0;
   return s / pairs;
+}
+
+double ClResultMatrix::bwt() const {
+  const std::size_t last = m() - 1;
+  double s = 0.0;
+  for (std::size_t j = 0; j < last; ++j) s += r_(last, j) - r_(j, j);
+  return s / static_cast<double>(last);
+}
+
+double ClResultMatrix::fwt(const std::vector<double>& baseline) const {
+  require(baseline.empty() || baseline.size() == m() - 1,
+          "ClResultMatrix::fwt: baseline needs one entry per experience j>=1");
+  double s = 0.0;
+  for (std::size_t j = 1; j < m(); ++j) {
+    const double b = baseline.empty() ? 0.0 : baseline[j - 1];
+    s += r_(j - 1, j) - b;
+  }
+  return s / static_cast<double>(m() - 1);
+}
+
+double ClResultMatrix::forgetting(std::size_t test_exp) const {
+  require(test_exp < m(), "ClResultMatrix::forgetting: out of range");
+  const std::size_t last = m() - 1;
+  if (test_exp == last) return 0.0;
+  double best = r_(test_exp, test_exp);
+  for (std::size_t i = test_exp + 1; i < last; ++i)
+    best = std::max(best, r_(i, test_exp));
+  return best - r_(last, test_exp);
+}
+
+double ClResultMatrix::avg_forgetting() const {
+  double s = 0.0;
+  for (std::size_t j = 0; j + 1 < m(); ++j) s += forgetting(j);
+  return s / static_cast<double>(m() - 1);
 }
 
 double ClResultMatrix::avg_all() const {

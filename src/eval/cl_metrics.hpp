@@ -7,9 +7,14 @@
 //   BwdTrans  = sum_i (R_{m-1,i} - R_{i,i}) / (m(m-1)/2)   (forgetting)
 // BwdTrans uses the paper's own normalizer m(m-1)/2 (not GEM's m-1); the
 // sign convention matches: negative = catastrophic forgetting.
+//
+// The GEM/Avalanche-convention summaries (bwt, fwt, forgetting — normalized
+// by m-1, per Lopez-Paz & Ranzato and Chaudhry et al.) live alongside the
+// paper's so bench tables can print both; formulas in docs/SCENARIOS.md.
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "tensor/matrix.hpp"
 
@@ -31,6 +36,27 @@ class ClResultMatrix {
   /// Mean of every entry (used by the Fig-4 "average F1 on all experiences"
   /// comparison against static ND methods).
   double avg_all() const;
+
+  /// GEM backward transfer: sum_{j<m-1} (R(m-1, j) - R(j, j)) / (m-1).
+  /// Negative = catastrophic forgetting, like the paper's bwd_transfer()
+  /// but with the continual-learning literature's m-1 normalizer.
+  double bwt() const;
+
+  /// GEM forward transfer: sum_{j>=1} (R(j-1, j) - b_j) / (m-1), the metric
+  /// on each experience just *before* training on it. `baseline` holds b_j
+  /// for j = 1..m-1 — an untrained reference's metric on each test split;
+  /// empty means b_j = 0 (raw zero-shot performance).
+  double fwt(const std::vector<double>& baseline = {}) const;
+
+  /// Forgetting of test experience j after the final training step:
+  /// max_{i in [j, m-2]} R(i, j) - R(m-1, j) (Chaudhry et al.), i.e. how far
+  /// the final model fell from the best result any intermediate model
+  /// achieved once j had been seen. Zero for j = m-1 (nothing trained
+  /// after it). Positive = forgot, negative = kept improving.
+  double forgetting(std::size_t test_exp) const;
+
+  /// Mean forgetting over j in [0, m-1).
+  double avg_forgetting() const;
 
   /// Pretty-print with row/column headers to any ostream.
   std::string to_string(const std::string& name) const;

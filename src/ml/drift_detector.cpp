@@ -13,6 +13,9 @@ PageHinkley::PageHinkley(double delta, double lambda, std::size_t min_samples)
   require(delta >= 0.0, "PageHinkley: delta must be >= 0");
 }
 
+// One observation of the Page-Hinkley statistic: pure arithmetic, sits on
+// the adaptive/streaming drift gates that run per incoming chunk.
+// cnd-hot
 bool PageHinkley::update(double value) {
   ++n_;
   mean_ += (value - mean_) / static_cast<double>(n_);
@@ -38,6 +41,7 @@ WindowShiftDetector::WindowShiftDetector(std::size_t window, double threshold)
   require(threshold > 0.0, "WindowShiftDetector: threshold must be > 0");
 }
 
+// cnd-alloc-ok(two-window deque is this detector's state; hot gates use PageHinkley)
 bool WindowShiftDetector::update(double value) {
   ++n_;
   buf_.push_back(value);

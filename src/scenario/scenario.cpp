@@ -1,0 +1,158 @@
+#include "scenario/scenario.hpp"
+
+#include <cmath>
+#include <span>
+#include <stdexcept>
+
+#include "tensor/assert.hpp"
+#include "tensor/rng.hpp"
+
+namespace cnd::scenario {
+
+namespace {
+
+// Add `scale * dir` to every row of x — the scenario streaming hot path,
+// called once per experience matrix. O(rows * cols), in place.
+// cnd-hot
+void add_shift_inplace(Matrix& x, std::span<const double> dir, double scale) {
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    std::span<double> row = x.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) row[c] += scale * dir[c];
+  }
+}
+
+/// Seeded random unit vector: the single "domain axis" a drifting scenario
+/// moves the population along. Salted off the scenario seed so the stream
+/// never collides with prepare_experiences' own Rng(seed) draws.
+std::vector<double> unit_direction(std::size_t dim, std::uint64_t seed) {
+  Rng rng = Rng(seed).split(/*salt=*/0xD81F7ULL);
+  std::vector<double> dir(dim);
+  double norm2 = 0.0;
+  for (double& v : dir) {
+    v = rng.normal();
+    norm2 += v * v;
+  }
+  const double inv = 1.0 / std::sqrt(std::max(norm2, 1e-300));
+  for (double& v : dir) v *= inv;
+  return dir;
+}
+
+data::PrepConfig base_prep(const ScenarioOptions& opt,
+                           data::FamilyPartition part,
+                           double contamination_ramp = 0.0) {
+  return {.n_experiences = opt.n_experiences,
+          .clean_frac = opt.clean_frac,
+          .train_frac = opt.train_frac,
+          .standardize = true,
+          .seed = opt.seed,
+          .family_partition = part,
+          .contamination_ramp = contamination_ramp};
+}
+
+class ClassIncremental final : public Scenario {
+ public:
+  std::string name() const override { return "class-incremental"; }
+  std::string summary() const override {
+    return "new attack families per experience (the paper's protocol)";
+  }
+  data::ExperienceSet build(const data::Dataset& ds,
+                            const ScenarioOptions& opt) const override {
+    opt.validate();
+    return data::prepare_experiences(
+        ds, base_prep(opt, data::FamilyPartition::kIncremental));
+  }
+};
+
+class DomainIncremental final : public Scenario {
+ public:
+  std::string name() const override { return "domain-incremental"; }
+  std::string summary() const override {
+    return "all families everywhere; inputs shift further each experience";
+  }
+  data::ExperienceSet build(const data::Dataset& ds,
+                            const ScenarioOptions& opt) const override {
+    opt.validate();
+    data::ExperienceSet es = data::prepare_experiences(
+        ds, base_prep(opt, data::FamilyPartition::kSpread));
+    const std::vector<double> dir = unit_direction(es.n_clean.cols(), opt.seed);
+    // Experience e lives drift_magnitude * e/(m-1) along the domain axis;
+    // N_c stays at the origin (it is pre-deployment traffic by definition).
+    for (std::size_t e = 1; e < es.size(); ++e) {
+      const double scale = opt.drift_magnitude * static_cast<double>(e) /
+                           static_cast<double>(es.size() - 1);
+      add_shift_inplace(es.experiences[e].x_train, dir, scale);
+      add_shift_inplace(es.experiences[e].x_test, dir, scale);
+    }
+    return es;
+  }
+};
+
+class TaskFreeRecurring final : public Scenario {
+ public:
+  std::string name() const override { return "task-free-recurring"; }
+  std::string summary() const override {
+    return "two domain regimes alternate A/B/A/B; no novel task boundary";
+  }
+  data::ExperienceSet build(const data::Dataset& ds,
+                            const ScenarioOptions& opt) const override {
+    opt.validate();
+    data::ExperienceSet es = data::prepare_experiences(
+        ds, base_prep(opt, data::FamilyPartition::kSpread));
+    const std::vector<double> dir = unit_direction(es.n_clean.cols(), opt.seed);
+    // Odd experiences sit in regime B (shifted by the full magnitude), even
+    // ones in regime A (the N_c domain) — every regime recurs, so a
+    // detector that forgets regime A while adapting to B is punished when
+    // A returns.
+    for (std::size_t e = 1; e < es.size(); e += 2) {
+      add_shift_inplace(es.experiences[e].x_train, dir, opt.drift_magnitude);
+      add_shift_inplace(es.experiences[e].x_test, dir, opt.drift_magnitude);
+    }
+    return es;
+  }
+};
+
+class ContaminationRamp final : public Scenario {
+ public:
+  std::string name() const override { return "contamination-ramp"; }
+  std::string summary() const override {
+    return "paper family split; training streams carry rising attack share";
+  }
+  data::ExperienceSet build(const data::Dataset& ds,
+                            const ScenarioOptions& opt) const override {
+    opt.validate();
+    return data::prepare_experiences(
+        ds, base_prep(opt, data::FamilyPartition::kIncremental,
+                      opt.max_contamination));
+  }
+};
+
+}  // namespace
+
+void ScenarioOptions::validate() const {
+  require(n_experiences >= 2, "ScenarioOptions: n_experiences must be >= 2");
+  require(drift_magnitude >= 0.0,
+          "ScenarioOptions: drift_magnitude must be >= 0");
+  require(max_contamination >= 0.0 && max_contamination < 1.0,
+          "ScenarioOptions: max_contamination out of [0,1)");
+  require(clean_frac > 0.0 && clean_frac < 1.0,
+          "ScenarioOptions: clean_frac out of (0,1)");
+  require(train_frac > 0.0 && train_frac < 1.0,
+          "ScenarioOptions: train_frac out of (0,1)");
+}
+
+std::unique_ptr<Scenario> make_scenario(const std::string& name) {
+  if (name == "class-incremental") return std::make_unique<ClassIncremental>();
+  if (name == "contamination-ramp") return std::make_unique<ContaminationRamp>();
+  if (name == "domain-incremental") return std::make_unique<DomainIncremental>();
+  if (name == "task-free-recurring") return std::make_unique<TaskFreeRecurring>();
+  std::string msg = "unknown scenario '" + name + "'; registered:";
+  for (const std::string& n : scenario_names()) msg += " " + n;
+  throw std::invalid_argument(msg);
+}
+
+std::vector<std::string> scenario_names() {
+  return {"class-incremental", "contamination-ramp", "domain-incremental",
+          "task-free-recurring"};
+}
+
+}  // namespace cnd::scenario

@@ -1,0 +1,73 @@
+// Avalanche-style continual-learning scenarios (docs/SCENARIOS.md).
+//
+// A Scenario turns one labeled dataset into an ordered stream of Experience
+// batches — the same data::ExperienceSet every detector and bench already
+// consumes — but controls *what changes* between experiences:
+//
+//   class-incremental    new attack families per experience (paper §III-A)
+//   domain-incremental   all families everywhere; the input distribution
+//                        shifts further with every experience
+//   task-free-recurring  all families everywhere; two domain regimes
+//                        alternate A/B/A/B with no novel task boundary
+//   contamination-ramp   paper family split; the unlabeled training stream
+//                        carries a rising share of attack rows
+//
+// Every generator is deterministic under the portable cnd::Rng streams:
+// the same (dataset, options) pair replays bit-identically at any thread
+// count (tests/test_scenario.cpp pins this).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "data/experiences.hpp"
+
+namespace cnd::scenario {
+
+struct ScenarioOptions {
+  std::size_t n_experiences = 5;  ///< m.
+  std::uint64_t seed = 7;
+  /// Domain-shift endpoint for the drifting scenarios: the mean of the
+  /// final regime moves this far (in post-z-score units) along a seeded
+  /// random unit direction.
+  double drift_magnitude = 4.0;
+  /// Contamination endpoint: the share of the *last* experience's training
+  /// stream swapped for attack rows in the contamination-ramp scenario.
+  double max_contamination = 0.30;
+  double clean_frac = 0.10;  ///< |N_c| / |N| (paper: 10%).
+  double train_frac = 0.70;  ///< train/test split within an experience.
+
+  /// Check every field; throws std::invalid_argument naming the offending
+  /// one. Called by every Scenario::build.
+  void validate() const;
+};
+
+/// One scenario generator. Implementations are stateless: build() derives
+/// everything from (dataset, options), so a Scenario can be shared freely.
+class Scenario {
+ public:
+  virtual ~Scenario() = default;
+
+  /// Registry name, e.g. "domain-incremental".
+  virtual std::string name() const = 0;
+
+  /// One-line description for CLI/bench listings.
+  virtual std::string summary() const = 0;
+
+  /// Produce the ordered experience stream. Throws std::invalid_argument
+  /// when the dataset cannot support the requested split.
+  virtual data::ExperienceSet build(const data::Dataset& ds,
+                                    const ScenarioOptions& opt) const = 0;
+};
+
+/// Construct a scenario by registry name; throws std::invalid_argument for
+/// an unknown name (the message lists every registered name).
+std::unique_ptr<Scenario> make_scenario(const std::string& name);
+
+/// Every scenario name, sorted.
+std::vector<std::string> scenario_names();
+
+}  // namespace cnd::scenario

@@ -90,6 +90,52 @@ TEST(ClMatrix, MetricsFormulas) {
               1e-12);
 }
 
+TEST(ClMatrix, GemMetricsHandComputed) {
+  // GEM/Avalanche-convention BWT, FWT, and forgetting on a hand-computed
+  // m = 3 matrix (formulas in docs/SCENARIOS.md).
+  ClResultMatrix r(3);
+  const double vals[3][3] = {{0.8, 0.2, 0.1}, {0.7, 0.9, 0.3}, {0.6, 0.5, 0.95}};
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) r.set(i, j, vals[i][j]);
+
+  // BWT = ((R(2,0)-R(0,0)) + (R(2,1)-R(1,1))) / 2 = ((.6-.8)+(.5-.9))/2.
+  EXPECT_NEAR(r.bwt(), -0.3, 1e-12);
+  // FWT (zero baseline) = (R(0,1) + R(1,2)) / 2 = (.2+.3)/2.
+  EXPECT_NEAR(r.fwt(), 0.25, 1e-12);
+  // FWT with an untrained-reference baseline b = {.1, .1}.
+  EXPECT_NEAR(r.fwt({0.1, 0.1}), 0.15, 1e-12);
+  // forgetting(0) = max(R(0,0), R(1,0)) - R(2,0) = .8 - .6.
+  EXPECT_NEAR(r.forgetting(0), 0.2, 1e-12);
+  // forgetting(1) = R(1,1) - R(2,1) = .9 - .5; forgetting(last) = 0.
+  EXPECT_NEAR(r.forgetting(1), 0.4, 1e-12);
+  EXPECT_EQ(r.forgetting(2), 0.0);
+  EXPECT_NEAR(r.avg_forgetting(), 0.3, 1e-12);
+
+  EXPECT_THROW(r.fwt({0.1}), std::invalid_argument);
+  EXPECT_THROW(r.forgetting(3), std::invalid_argument);
+}
+
+TEST(ClMatrix, GemMetricsFrozenAndImprovingModels) {
+  // A model that never changes has zero BWT and zero forgetting.
+  ClResultMatrix frozen(3);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      frozen.set(i, j, 0.4 + 0.1 * static_cast<double>(j));
+  EXPECT_NEAR(frozen.bwt(), 0.0, 1e-12);
+  EXPECT_NEAR(frozen.avg_forgetting(), 0.0, 1e-12);
+
+  // A model that keeps improving on old experiences: positive BWT,
+  // negative forgetting.
+  ClResultMatrix improving(2);
+  improving.set(0, 0, 0.5);
+  improving.set(0, 1, 0.2);
+  improving.set(1, 0, 0.7);
+  improving.set(1, 1, 0.6);
+  EXPECT_NEAR(improving.bwt(), 0.2, 1e-12);
+  EXPECT_NEAR(improving.forgetting(0), -0.2, 1e-12);
+  EXPECT_NEAR(improving.fwt(), 0.2, 1e-12);
+}
+
 TEST(ClMatrix, FrozenModelHasZeroBwd) {
   // A model that never changes: every row identical -> BwdTrans = 0.
   ClResultMatrix r(4);

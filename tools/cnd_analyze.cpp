@@ -726,8 +726,8 @@ std::string layer_of(const std::string& vpath) {
   if (slash == std::string::npos) return {};
   static const std::set<std::string> layers = {
       "obs",  "runtime", "tensor", "linalg",    "nn",
-      "ml",   "data",    "eval",   "core",      "io",
-      "baselines"};
+      "ml",   "data",    "scenario", "eval",    "core",
+      "io",   "baselines"};
   const std::string layer = vpath.substr(4, slash - 4);
   return layers.count(layer) ? layer : std::string{};
 }
@@ -741,6 +741,7 @@ const std::map<std::string, std::set<std::string>>& layer_deps() {
       {"nn", {"linalg", "tensor", "runtime", "obs"}},
       {"ml", {"nn", "linalg", "tensor", "runtime", "obs"}},
       {"data", {"ml", "nn", "linalg", "tensor", "runtime", "obs"}},
+      {"scenario", {"data", "ml", "nn", "linalg", "tensor", "runtime", "obs"}},
       {"eval", {"tensor", "runtime", "obs"}},
       {"core",
        {"eval", "data", "ml", "nn", "linalg", "tensor", "runtime", "obs"}},

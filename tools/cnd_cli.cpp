@@ -12,7 +12,8 @@
 //       accepts any name from `cnd detectors` (the core registry).
 //
 //   detectors
-//       List every registry detector name with its kind.
+//       List every registry detector name with its kind and a one-line
+//       description (e.g. Adaptive — drift-gated CND-IDS).
 //
 //   score --train=<csv> --test=<csv> [--quantile=0.99] [--epochs=8]
 //         [--save-model=<bin>]
@@ -77,6 +78,9 @@ int usage() {
                "--out=FILE [--scale=0.25] [--seed=42]\n"
                "  run       --data=FILE [--detector=CND-IDS] [--experiences=5] "
                "[--seed=7] [--epochs=8]\n"
+               "            --detector takes any name from `cnd detectors`, "
+               "e.g. Adaptive (drift-gated CND-IDS: refits only when "
+               "Page-Hinkley signals drift)\n"
                "  score     --train=FILE --test=FILE [--quantile=0.99] "
                "[--epochs=8] [--save-model=FILE]\n"
                "  apply     --model=FILE --test=FILE\n"
@@ -94,7 +98,8 @@ int cmd_detectors() {
         kind = "static (fit on first stream)";
         break;
     }
-    std::printf("%-10s %s\n", name.c_str(), kind);
+    std::printf("%-10s %-28s %s\n", name.c_str(), kind,
+                core::detector_description(name).c_str());
   }
   return 0;
 }

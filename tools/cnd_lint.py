@@ -87,6 +87,7 @@ LAYER_DEPS = {
     "nn": {"linalg", "tensor", "runtime", "obs"},
     "ml": {"nn", "linalg", "tensor", "runtime", "obs"},
     "data": {"ml", "nn", "linalg", "tensor", "runtime", "obs"},
+    "scenario": {"data", "ml", "nn", "linalg", "tensor", "runtime", "obs"},
     "eval": {"tensor", "runtime", "obs"},
     "core": {"eval", "data", "ml", "nn", "linalg", "tensor", "runtime", "obs"},
     "io": {"core", "eval", "data", "ml", "nn", "linalg", "tensor", "runtime", "obs"},
