@@ -107,4 +107,10 @@ std::vector<double> AdaptiveCndIds::score(const Matrix& x_test) {
   return detector_.score(x_test);
 }
 
+// Pure delegation to the inner detector's allocation-free path.
+// cnd-hot
+void AdaptiveCndIds::score_into(const Matrix& x_test, std::vector<double>& out) {
+  detector_.score_into(x_test, out);
+}
+
 }  // namespace cnd::core

@@ -40,6 +40,14 @@ class AdaptiveCndIds final : public ContinualDetector {
   void setup(const SetupContext& ctx) override;
   void observe_experience(const Matrix& x_train) override;
   std::vector<double> score(const Matrix& x_test) override;
+  void score_into(const Matrix& x_test, std::vector<double>& out) override;
+
+  bool supports_snapshot() const override { return true; }
+  /// Inner CND-IDS scoring state plus the trigger's runtime statistics
+  /// (reference level, Page-Hinkley state, gate counters); defined in
+  /// src/io/detector_snapshot.cpp.
+  void snapshot(std::ostream& os) const override;
+  void restore(std::istream& is) override;
 
   std::size_t updates() const { return updates_; }
   std::size_t skips() const { return skips_; }

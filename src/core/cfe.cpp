@@ -1,6 +1,7 @@
 #include "core/cfe.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "core/cluster_separation.hpp"
 #include "nn/losses.hpp"
@@ -23,6 +24,10 @@ Cfe::Cfe(const CfeConfig& cfg, std::uint64_t seed)
 }
 
 CfeFitStats Cfe::fit_experience(const Matrix& x_train, const Matrix& n_clean) {
+  if (restored_)
+    throw std::logic_error(
+        "Cfe::fit_experience: this CFE was restored from a snapshot and is "
+        "inference-only; train a fresh detector instead");
   require(x_train.rows() >= 8, "Cfe::fit_experience: too few rows");
   require(x_train.cols() == n_clean.cols(), "Cfe::fit_experience: feature mismatch");
 
@@ -223,6 +228,20 @@ void Cfe::accumulate_fisher(const Matrix& x_train) {
 Matrix Cfe::encode(const Matrix& x) {
   require(ae_.initialized(), "Cfe::encode: no experience observed yet");
   return ae_.encoder().forward(x, /*train=*/false);
+}
+
+void Cfe::encode_into(const Matrix& x, Matrix& out) {
+  require(ae_.initialized(), "Cfe::encode: no experience observed yet");
+  ae_.encode_into(x, out);
+}
+
+void Cfe::restore_encoder(nn::Sequential encoder, std::size_t input_dim) {
+  ae_.restore_encoder(std::move(encoder),
+                      {.input_dim = input_dim,
+                       .hidden_dim = cfg_.hidden_dim,
+                       .latent_dim = cfg_.latent_dim,
+                       .dropout = 0.0});
+  restored_ = true;
 }
 
 }  // namespace cnd::core

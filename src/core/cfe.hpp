@@ -80,6 +80,19 @@ class Cfe {
   /// Encode rows into the latent feature space.
   Matrix encode(const Matrix& x);
 
+  /// Allocation-free encode into a caller-owned matrix; bit-identical to
+  /// encode(). The serving replicas' scoring path.
+  void encode_into(const Matrix& x, Matrix& out);
+
+  /// Rebuild the scoring half from a deserialized encoder (the detector
+  /// snapshot/restore path). The result is inference-only: encode() works,
+  /// fit_experience() throws std::logic_error — training state (decoder,
+  /// optimizer moments, L_CL snapshots) is deliberately not in a snapshot.
+  void restore_encoder(nn::Sequential encoder, std::size_t input_dim);
+
+  /// True when this CFE was rebuilt from a snapshot (inference-only).
+  bool restored() const { return restored_; }
+
   std::size_t n_experiences_seen() const { return experiences_seen_; }
   std::size_t n_snapshots() const { return past_encoders_.size(); }
   const CfeConfig& config() const { return cfg_; }
@@ -103,6 +116,7 @@ class Cfe {
   std::vector<Matrix> fisher_;      ///< kEwc: per-param Fisher diagonal.
   std::vector<Matrix> anchor_;      ///< kEwc: per-param consolidated weights.
   std::size_t experiences_seen_ = 0;
+  bool restored_ = false;           ///< rebuilt from a snapshot: no training.
 };
 
 }  // namespace cnd::core

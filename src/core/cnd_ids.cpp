@@ -11,6 +11,20 @@ std::vector<int> ContinualDetector::predict(const Matrix&) {
   throw std::logic_error(name() + ": predict() not implemented (score-based detector)");
 }
 
+// Generic adapter for detectors without an allocation-free scoring path.
+// cnd-alloc-ok(default adapter copies one score vector through score())
+void ContinualDetector::score_into(const Matrix& x_test, std::vector<double>& out) {
+  out = score(x_test);
+}
+
+void ContinualDetector::snapshot(std::ostream&) const {
+  throw std::logic_error(name() + ": snapshot() not supported");
+}
+
+void ContinualDetector::restore(std::istream&) {
+  throw std::logic_error(name() + ": restore() not supported");
+}
+
 void CndIdsConfig::validate() const {
   require(cfe.hidden_dim > 0, "CndIdsConfig: cfe.hidden_dim must be > 0");
   require(cfe.latent_dim > 0, "CndIdsConfig: cfe.latent_dim must be > 0");
@@ -79,11 +93,23 @@ std::vector<double> CndIds::score(const Matrix& x_test) {
   require(pca_.fitted(), "CndIds::score: no experience observed yet");
   obs::ScopedTimer timer(obs::metrics(), "cnd.score_ms");
   obs::metrics().counter("cnd.rows_scored_total").add(x_test.rows());
-  std::vector<double> s = pca_.score(cfe_.encode(x_test));
-  // Scores feed threshold search and CSV output; a NaN would scramble both.
-  CND_DCHECK_ALL_FINITE(std::span<const double>(s),
-                        "CndIds::score: non-finite score");
+  std::vector<double> s;
+  score_into(x_test, s);
   return s;
+}
+
+// The serving replicas' scoring entry point: encode + FRE with every
+// temporary in the member scratch, so steady-state batches of a fixed shape
+// never touch the heap. Same operation sequence as encode()+Pca::score(),
+// hence bit-identical scores.
+// cnd-hot
+void CndIds::score_into(const Matrix& x_test, std::vector<double>& out) {
+  require(pca_.fitted(), "CndIds::score: no experience observed yet");
+  cfe_.encode_into(x_test, latent_);
+  pca_.score_into(latent_, out, score_ws_);
+  // Scores feed threshold search and CSV output; a NaN would scramble both.
+  CND_DCHECK_ALL_FINITE(std::span<const double>(out),
+                        "CndIds::score: non-finite score");
 }
 
 }  // namespace cnd::core

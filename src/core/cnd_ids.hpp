@@ -11,6 +11,7 @@
 #include "core/cfe.hpp"
 #include "core/detector.hpp"
 #include "ml/pca.hpp"
+#include "tensor/kernels.hpp"
 
 namespace cnd::core {
 
@@ -34,6 +35,18 @@ class CndIds final : public ContinualDetector {
   void observe_experience(const Matrix& x_train) override;
   std::vector<double> score(const Matrix& x_test) override;
 
+  /// Allocation-free scoring through the member workspace; bit-identical
+  /// to score(). The serving replicas' hot path.
+  void score_into(const Matrix& x_test, std::vector<double>& out) override;
+
+  bool supports_snapshot() const override { return true; }
+  /// Scoring state only (encoder + PCA moments); defined in
+  /// src/io/detector_snapshot.cpp, which routes through io::model_io.
+  void snapshot(std::ostream& os) const override;
+  /// Restored detectors are inference-only: observe_experience() throws
+  /// std::logic_error afterwards (the CFE keeps no training state).
+  void restore(std::istream& is) override;
+
   const Cfe& cfe() const { return cfe_; }
   const ml::Pca& pca() const { return pca_; }
   const CfeFitStats& last_fit_stats() const { return last_stats_; }
@@ -44,6 +57,10 @@ class CndIds final : public ContinualDetector {
   ml::Pca pca_;
   Matrix n_clean_;
   CfeFitStats last_stats_;
+  // Scratch for score_into: latent batch + PCA workspace. Scoring reuses
+  // these across calls, so one detector serves one thread at a time.
+  Matrix latent_;
+  Workspace score_ws_;
 };
 
 }  // namespace cnd::core

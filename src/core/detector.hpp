@@ -10,6 +10,7 @@
 // set the paper notes they require.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,27 @@ class ContinualDetector {
   /// Hard predictions; default derives nothing and must be overridden by
   /// detectors with has_scores() == false.
   virtual std::vector<int> predict(const Matrix& x_test);
+
+  /// Score into a caller-owned vector (resized to x_test.rows()); values
+  /// are bit-identical to score(). The default adapter routes through
+  /// score(); detectors on the serving hot path override it so steady-state
+  /// batches of a fixed shape never touch the heap.
+  virtual void score_into(const Matrix& x_test, std::vector<double>& out);
+
+  // ---- Snapshot/restore: the serving hot-swap contract ----------------
+  // A snapshot captures the *scoring* state only (model state, not data —
+  // the same storage argument the paper makes for L_CL). A detector
+  // restored from it must score byte-identically to the one that produced
+  // it, but is inference-only: further training throws std::logic_error.
+
+  /// True when snapshot()/restore() are implemented.
+  virtual bool supports_snapshot() const { return false; }
+
+  /// Serialize scoring state to `os`. Default: throws std::logic_error.
+  virtual void snapshot(std::ostream& os) const;
+
+  /// Rebuild scoring state from `is`. Default: throws std::logic_error.
+  virtual void restore(std::istream& is);
 };
 
 }  // namespace cnd::core

@@ -75,44 +75,69 @@ void StreamingCndIds::adapt() {
 }
 
 StreamBatchResult StreamingCndIds::process_batch(const Matrix& batch) {
-  require(ready_, "StreamingCndIds::process_batch: bootstrap() not called");
+  StreamBatchResult res;
+  process_batch_into(batch, res);
+  return res;
+}
+
+// cnd-alloc-ok(the column-mismatch diagnostic builds a message string eagerly)
+void StreamingCndIds::check_batch(const Matrix& batch) const {
+  if (!ready_)
+    throw std::logic_error(
+        "StreamingCndIds::process_batch: bootstrap() not called — the "
+        "detector has no model or threshold to score with");
   require(batch.rows() > 0, "StreamingCndIds::process_batch: empty batch");
   require(batch.cols() == n_clean_.cols(),
           "StreamingCndIds::process_batch: batch has " +
               std::to_string(batch.cols()) + " columns, bootstrap window had " +
               std::to_string(n_clean_.cols()));
+}
 
-  StreamBatchResult res;
-  res.scores = detector_.score(batch);
-  res.threshold = threshold_;
-  res.verdicts = eval::apply_threshold(res.scores, threshold_);
+// Hot serving core: score + verdicts + the drift statistic, all through
+// caller-owned storage. Guards, telemetry, and the (allocating by design)
+// adaptation round sit behind the two barrier helpers.
+// cnd-hot
+void StreamingCndIds::process_batch_into(const Matrix& batch,
+                                         StreamBatchResult& out) {
+  check_batch(batch);
+  detector_.score_into(batch, out.scores);
+  out.threshold = threshold_;
+  out.verdicts.resize(out.scores.size());
+  for (std::size_t i = 0; i < out.scores.size(); ++i)
+    out.verdicts[i] = out.scores[i] > threshold_ ? 1 : 0;
+  out.adapted = false;
   flows_seen_ += batch.rows();
 
   // Drift statistic: mean score of the batch. A drifting normal population
   // raises the mean even when no attack wave is in progress.
   double mean = 0.0;
-  for (double v : res.scores) mean += v;
-  mean /= static_cast<double>(res.scores.size());
-  res.drift_signal = ph_.update(mean);
+  for (double v : out.scores) mean += v;
+  mean /= static_cast<double>(out.scores.size());
+  out.drift_signal = ph_.update(mean);
 
+  finish_batch(batch, mean, out);
+}
+
+// cnd-alloc-ok(telemetry name strings, the stream buffer, and the adaptation round allocate by design)
+void StreamingCndIds::finish_batch(const Matrix& batch, double mean_score,
+                                   StreamBatchResult& out) {
   obs::MetricsRegistry& m = obs::metrics();
   m.counter("stream.batches_total").add(1);
   m.counter("stream.flows_total").add(batch.rows());
-  if (res.drift_signal) {
+  if (out.drift_signal) {
     m.counter("stream.drift_signals_total").add(1);
     obs::events().emit("stream.drift",
-                       {{"flows_seen", flows_seen_}, {"mean_score", mean}});
+                       {{"flows_seen", flows_seen_}, {"mean_score", mean_score}});
   }
 
   buffer_.append_rows(batch);
   const bool buffer_full = buffer_.rows() >= cfg_.max_buffer_rows;
   const bool can_adapt = buffer_.rows() >= cfg_.min_buffer_rows;
-  if ((res.drift_signal && can_adapt) || buffer_full) {
+  if ((out.drift_signal && can_adapt) || buffer_full) {
     adapt();
-    res.adapted = true;
+    out.adapted = true;
   }
   m.gauge("stream.buffer_rows").set(static_cast<double>(buffer_.rows()));
-  return res;
 }
 
 }  // namespace cnd::core

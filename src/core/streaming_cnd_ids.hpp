@@ -10,6 +10,8 @@
 // framing implies but never spells out.
 #pragma once
 
+#include <stdexcept>
+
 #include "core/cnd_ids.hpp"
 #include "ml/drift_detector.hpp"
 
@@ -51,15 +53,32 @@ class StreamingCndIds {
   void bootstrap(const Matrix& n_clean);
 
   /// Score a batch of live flows, update drift state, maybe adapt.
+  /// Thin wrapper over process_batch_into with fresh result storage.
   StreamBatchResult process_batch(const Matrix& batch);
+
+  /// Same contract as process_batch, writing into a caller-owned result so
+  /// a serving loop that reuses `out` keeps score/verdict storage across
+  /// batches — zero heap allocations in steady state (fixed batch shape, no
+  /// adaptation round). Calling before bootstrap() throws std::logic_error.
+  void process_batch_into(const Matrix& batch, StreamBatchResult& out);
 
   std::size_t adaptations() const { return adaptations_; }
   std::size_t flows_seen() const { return flows_seen_; }
-  std::size_t buffered() const { return buffer_.rows(); }
+  std::size_t buffered() const {
+    if (!ready_)
+      throw std::logic_error("StreamingCndIds::buffered: bootstrap() not called");
+    return buffer_.rows();
+  }
   const CndIds& detector() const { return detector_; }
 
  private:
   void adapt();
+  /// State/shape guards ahead of the hot core; std::logic_error before
+  /// bootstrap(), std::invalid_argument on bad batches.
+  void check_batch(const Matrix& batch) const;
+  /// Telemetry + buffering + (maybe) the adaptation round after the hot
+  /// core has filled `out`.
+  void finish_batch(const Matrix& batch, double mean_score, StreamBatchResult& out);
 
   StreamingConfig cfg_;
   CndIds detector_;

@@ -1,0 +1,99 @@
+// Snapshot/restore of detector scoring state — the implementation of
+// core::ContinualDetector's serving hot-swap contract for CndIds and
+// AdaptiveCndIds, routed through io::binary + io::model_io.
+//
+// These are member functions of core:: classes defined in an io-layer TU on
+// purpose: core cannot depend on io (layering), but a member function may
+// be defined in any translation unit, and this one lives in cnd_io where
+// the serialization primitives are. Consequence: the CndIds/AdaptiveCndIds
+// vtables reference these symbols, so every binary linking cnd_core must
+// also link cnd_io (see cnd_add_bench/cnd_add_example/cnd_add_test).
+//
+// A snapshot is model state only, never data — the same storage argument
+// the paper makes for L_CL. For CndIds that is the CFE encoder plus the PCA
+// moments; restored detectors are inference-only (Cfe::restore_encoder sets
+// the restored flag, so a later fit_experience throws std::logic_error).
+#include <istream>
+#include <ostream>
+
+#include "core/adaptive_cnd_ids.hpp"
+#include "core/cnd_ids.hpp"
+#include "io/binary.hpp"
+#include "io/model_io.hpp"
+#include "tensor/assert.hpp"
+
+namespace cnd::core {
+
+namespace {
+
+// Detector tags inside a snapshot stream: restoring from the wrong
+// detector's bytes must fail loudly, not mis-load.
+constexpr std::uint64_t kTagCndIds = 1;
+constexpr std::uint64_t kTagAdaptive = 2;
+
+}  // namespace
+
+void CndIds::snapshot(std::ostream& os) const {
+  require(pca_.fitted(), "CndIds::snapshot: no experience observed yet");
+  io::write_header(os);
+  io::write_u64(os, kTagCndIds);
+  io::write_u64(os, cfe_.autoencoder().config().input_dim);
+  // encoder_copy() deep-clones, giving write_sequential the non-const
+  // Sequential its params() walk needs without const_cast.
+  nn::Sequential enc = cfe_.autoencoder().encoder_copy();
+  io::write_sequential(os, enc);
+  io::write_vec(os, pca_.center());
+  io::write_matrix(os, pca_.components());
+  require(os.good(), "CndIds::snapshot: write failed");
+}
+
+void CndIds::restore(std::istream& is) {
+  io::read_header(is);
+  require(io::read_u64(is) == kTagCndIds,
+          "CndIds::restore: stream is not a CND-IDS snapshot");
+  const auto input_dim = static_cast<std::size_t>(io::read_u64(is));
+  nn::Sequential enc = io::read_sequential(is);
+  std::vector<double> mean = io::read_vec(is);
+  Matrix comps = io::read_matrix(is);
+  require(is.good(), "CndIds::restore: truncated snapshot");
+  cfe_.restore_encoder(std::move(enc), input_dim);
+  pca_ = ml::Pca(std::move(mean), std::move(comps));
+}
+
+void AdaptiveCndIds::snapshot(std::ostream& os) const {
+  io::write_header(os);
+  io::write_u64(os, kTagAdaptive);
+  detector_.snapshot(os);
+  io::write_f64(os, ref_mean_);
+  io::write_u64(os, fitted_ ? 1 : 0);
+  io::write_u64(os, updates_);
+  io::write_u64(os, skips_);
+  io::write_u64(os, drift_signals_);
+  const ml::PageHinkley::State ph = ph_.state();
+  io::write_u64(os, ph.n);
+  io::write_f64(os, ph.mean);
+  io::write_f64(os, ph.mt);
+  io::write_f64(os, ph.min_mt);
+  require(os.good(), "AdaptiveCndIds::snapshot: write failed");
+}
+
+void AdaptiveCndIds::restore(std::istream& is) {
+  io::read_header(is);
+  require(io::read_u64(is) == kTagAdaptive,
+          "AdaptiveCndIds::restore: stream is not an Adaptive snapshot");
+  detector_.restore(is);
+  ref_mean_ = io::read_f64(is);
+  fitted_ = io::read_u64(is) == 1;
+  updates_ = static_cast<std::size_t>(io::read_u64(is));
+  skips_ = static_cast<std::size_t>(io::read_u64(is));
+  drift_signals_ = static_cast<std::size_t>(io::read_u64(is));
+  ml::PageHinkley::State ph;
+  ph.n = static_cast<std::size_t>(io::read_u64(is));
+  ph.mean = io::read_f64(is);
+  ph.mt = io::read_f64(is);
+  ph.min_mt = io::read_f64(is);
+  require(is.good(), "AdaptiveCndIds::restore: truncated snapshot");
+  ph_.set_state(ph);
+}
+
+}  // namespace cnd::core

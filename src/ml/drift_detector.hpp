@@ -27,6 +27,23 @@ class PageHinkley {
   std::size_t n_seen() const { return n_; }
   double statistic() const { return mt_ - min_mt_; }
 
+  /// Runtime statistic of the test, exposed for detector snapshots: a
+  /// restored replica must alarm at exactly the observation the live one
+  /// would, so its drift state travels with the model state.
+  struct State {
+    std::size_t n = 0;
+    double mean = 0.0;
+    double mt = 0.0;
+    double min_mt = 0.0;
+  };
+  State state() const { return {n_, mean_, mt_, min_mt_}; }
+  void set_state(const State& s) {
+    n_ = s.n;
+    mean_ = s.mean;
+    mt_ = s.mt;
+    min_mt_ = s.min_mt;
+  }
+
  private:
   double delta_, lambda_;
   std::size_t min_samples_;

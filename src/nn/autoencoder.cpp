@@ -24,6 +24,14 @@ Autoencoder::Autoencoder(const AutoencoderConfig& cfg, Rng& rng) : cfg_(cfg) {
   decoder_.add(std::make_unique<Linear>(cfg.hidden_dim, cfg.input_dim, rng));
 }
 
+void Autoencoder::restore_encoder(Sequential encoder, const AutoencoderConfig& cfg) {
+  require(cfg.input_dim > 0, "Autoencoder::restore_encoder: input_dim must be > 0");
+  require(encoder.depth() > 0, "Autoencoder::restore_encoder: empty encoder");
+  cfg_ = cfg;
+  encoder_ = std::move(encoder);
+  decoder_ = Sequential();
+}
+
 std::vector<Param> Autoencoder::params() {
   auto p = encoder_.params();
   auto d = decoder_.params();

@@ -36,6 +36,16 @@ class Autoencoder {
   /// Deep copy of the encoder (model snapshotting / serialization).
   Sequential encoder_copy() const { return encoder_; }
 
+  /// Rebuild an inference-only autoencoder around a deserialized encoder.
+  /// The decoder stays empty: restored models score, they never train.
+  void restore_encoder(Sequential encoder, const AutoencoderConfig& cfg);
+
+  /// Allocation-free encode through the encoder's forward_into chain;
+  /// bit-identical to encode(x, /*train=*/false).
+  void encode_into(const Matrix& x, Matrix& out) {
+    encoder_.forward_into(x, out, /*train=*/false);
+  }
+
   /// Encoder + decoder parameters, in a stable order.
   std::vector<Param> params();
   void zero_grad();

@@ -1,0 +1,62 @@
+#include "serve/artifact.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "io/binary.hpp"
+#include "tensor/assert.hpp"
+
+namespace cnd::serve {
+
+std::shared_ptr<const ServingArtifact> make_artifact(
+    std::uint64_t version, const std::string& detector_name, double threshold,
+    const core::ContinualDetector& det) {
+  if (!det.supports_snapshot())
+    throw std::logic_error("make_artifact: " + detector_name +
+                           " does not support snapshots");
+  auto a = std::make_shared<ServingArtifact>();
+  a->version = version;
+  a->detector = detector_name;
+  a->threshold = threshold;
+  std::ostringstream os(std::ios::binary);
+  det.snapshot(os);
+  a->model_bytes = std::move(os).str();
+  return a;
+}
+
+std::unique_ptr<core::ContinualDetector> restore_replica(
+    const ServingArtifact& a, const core::DetectorConfig& cfg) {
+  auto det = core::make_detector(a.detector, cfg);
+  std::istringstream is(a.model_bytes, std::ios::binary);
+  det->restore(is);
+  return det;
+}
+
+void save_artifact(const std::string& path, const ServingArtifact& a) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os.good())
+    throw std::runtime_error("save_artifact: cannot open " + path);
+  io::write_header(os);
+  io::write_u64(os, a.version);
+  io::write_string(os, a.detector);
+  io::write_f64(os, a.threshold);
+  io::write_string(os, a.model_bytes);
+  require(os.good(), "save_artifact: write failed for " + path);
+}
+
+ServingArtifact load_artifact(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good())
+    throw std::runtime_error("load_artifact: cannot open " + path);
+  io::read_header(is);
+  ServingArtifact a;
+  a.version = io::read_u64(is);
+  a.detector = io::read_string(is);
+  a.threshold = io::read_f64(is);
+  a.model_bytes = io::read_string(is);
+  require(is.good(), "load_artifact: truncated artifact " + path);
+  return a;
+}
+
+}  // namespace cnd::serve

@@ -1,0 +1,80 @@
+// Fixed-capacity admission queue for the scoring service (docs/SERVING.md).
+//
+// Single policy decision, stated once: the producer is NEVER blocked
+// unboundedly. A full queue rejects the push (`try_push` returns false and
+// the caller counts the rejection); consumers block on `pop` because shard
+// workers have nothing else to do. Capacity is fixed at construction — a
+// bounded queue is the backpressure mechanism, not an optimization.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "tensor/assert.hpp"
+
+namespace cnd::serve {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : slots_(capacity) {
+    require(capacity > 0, "RingBuffer: capacity must be > 0");
+  }
+
+  RingBuffer(const RingBuffer&) = delete;
+  RingBuffer& operator=(const RingBuffer&) = delete;
+
+  /// Admit one item. Returns false immediately when the queue is full or
+  /// closed — the caller decides whether to retry, drop, or shed load.
+  bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || size_ == slots_.size()) return false;
+      slots_[(head_ + size_) % slots_.size()] = std::move(item);
+      ++size_;
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Block until an item is available or the queue is closed AND drained.
+  /// std::nullopt means shutdown: no more items will ever arrive.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return size_ > 0 || closed_; });
+    if (size_ == 0) return std::nullopt;
+    T item = std::move(slots_[head_]);
+    head_ = (head_ + 1) % slots_.size();
+    --size_;
+    return item;
+  }
+
+  /// Stop admitting; consumers drain the remaining items, then see nullopt.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return size_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace cnd::serve

@@ -1,0 +1,149 @@
+// Sharded scoring service — StreamingCndIds promoted to a production shape
+// (docs/SERVING.md).
+//
+// Topology: one producer thread (the caller of try_submit) feeds a bounded
+// admission queue; N shard workers pop batches and score them against an
+// inference-only replica of the current artifact. A trainer detector — the
+// "background copy" — holds the full training state and never serves; an
+// adaptation round runs on it synchronously inside try_submit at
+// deterministic admitted-flow boundaries, then publishes a new artifact
+// version. Batches admitted after the publish carry the new version, so
+// every shard hot-swaps its replica on the next batch it pops — the swap is
+// a wholesale pointer exchange, never an in-place mutation of a scoring
+// model.
+//
+// Determinism across shard counts: a batch's artifact version is fixed at
+// admission (a function of the admitted-flow count only, never of worker
+// timing), and replicas restored from one artifact score byte-identically
+// to each other and to the trainer. Hence the scores and verdicts of every
+// admitted batch are the same at 1 shard and at 16 — check_determinism.sh
+// holds the serving leg to exactly that.
+//
+// Backpressure: a full queue rejects the submission (try_submit returns
+// false, serve.rejected_total counts it). The producer is never blocked;
+// shedding or retrying is its call.
+//
+// Shard workers are dedicated std::threads, not runtime::ThreadPool lanes:
+// they block on the queue for their whole life, which would starve the
+// pool's chunk lanes. A replica's own batch scoring still runs through the
+// pool (ThreadPool::run serializes concurrent callers).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/detector_factory.hpp"
+#include "serve/artifact.hpp"
+#include "serve/ring_buffer.hpp"
+#include "tensor/matrix.hpp"
+
+namespace cnd::serve {
+
+struct ServiceConfig {
+  /// Registry name of the detector; must support_snapshot().
+  std::string detector = "CND-IDS";
+  core::DetectorConfig detector_cfg;
+  std::size_t shards = 1;
+  std::size_t queue_capacity = 64;
+  /// POT target false-alarm probability for the calibrated threshold.
+  double target_fpr = 0.01;
+  /// 0 = adaptation off. Otherwise an adaptation round (trainer
+  /// observe_experience on the flows admitted since the last round +
+  /// threshold recalibration on the clean window + artifact publish) runs
+  /// each time the admitted-flow count crosses a multiple of this value.
+  std::size_t adapt_interval_flows = 0;
+  /// Free each batch's input rows once it is scored. On a million-flow soak
+  /// the retained inputs would dwarf everything else; tests that assert on
+  /// BatchResult::input after drain() turn this off.
+  bool release_scored_inputs = true;
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
+};
+
+/// One admitted batch: the input rows, the artifact version that must score
+/// them, and the worker-filled outputs.
+struct BatchResult {
+  Matrix input;
+  std::shared_ptr<const ServingArtifact> artifact;
+  std::uint64_t first_flow = 0;  ///< global index of the batch's first flow.
+  std::vector<double> scores;
+  std::vector<int> verdicts;
+};
+
+class ScoringService {
+ public:
+  explicit ScoringService(const ServiceConfig& cfg);
+  /// Joins the shard workers (drains the queue first).
+  ~ScoringService();
+
+  ScoringService(const ScoringService&) = delete;
+  ScoringService& operator=(const ScoringService&) = delete;
+
+  /// Train the trainer on the operator-vouched clean window, calibrate the
+  /// threshold, publish artifact v1, and start the shard workers. Must be
+  /// called exactly once before try_submit.
+  void bootstrap(const Matrix& n_clean);
+
+  /// Admit one batch for scoring. Returns false (and counts the rejection)
+  /// when the queue is full — backpressure, never blocking. May run a
+  /// synchronous adaptation round after admission (see
+  /// ServiceConfig::adapt_interval_flows). Only one thread may submit.
+  bool try_submit(const Matrix& batch);
+
+  /// Block until every admitted batch has been scored.
+  void drain();
+
+  /// Stop admitting, drain, and join the workers. Idempotent.
+  void shutdown();
+
+  /// All admitted batches in admission order. Stable references; outputs of
+  /// a batch are valid once drain() returns (or shutdown()).
+  const std::deque<BatchResult>& results() const { return results_; }
+
+  std::uint64_t artifact_version() const { return version_; }
+  double threshold() const { return threshold_; }
+  std::uint64_t flows_admitted() const { return flows_admitted_; }
+  std::uint64_t rejected() const { return rejected_; }
+  std::uint64_t adaptations() const { return adaptations_; }
+  /// Replica (re)builds across all shards, initial loads included.
+  std::uint64_t swaps() const { return swaps_.load(std::memory_order_relaxed); }
+
+ private:
+  void worker_loop();
+  /// Buffer admitted flows and run the adaptation round when due.
+  void maybe_adapt(const Matrix& batch);
+  /// Snapshot the trainer into artifact version_ + 1.
+  void publish();
+
+  ServiceConfig cfg_;
+  std::unique_ptr<core::ContinualDetector> trainer_;
+  Matrix n_clean_;
+  Matrix adapt_buffer_;
+  std::shared_ptr<const ServingArtifact> artifact_;  ///< producer-only.
+  std::uint64_t version_ = 0;
+  double threshold_ = 0.0;
+  std::uint64_t flows_admitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t adaptations_ = 0;
+  std::atomic<std::uint64_t> swaps_{0};
+
+  /// Admission order; std::deque for reference stability — workers write
+  /// through pointers into elements while the producer appends new ones.
+  std::deque<BatchResult> results_;
+  RingBuffer<BatchResult*> queue_;
+  std::vector<std::thread> workers_;
+  std::mutex pending_mu_;
+  std::condition_variable drained_cv_;
+  std::size_t pending_ = 0;  ///< admitted but not yet scored.
+  bool running_ = false;
+};
+
+}  // namespace cnd::serve

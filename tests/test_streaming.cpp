@@ -85,8 +85,13 @@ Matrix gaussian_batch(Rng& rng, std::size_t n, std::size_t d, double shift = 0.0
 }
 
 TEST(StreamingCndIds, RequiresBootstrap) {
+  // Misuse of the API (scoring before the detector exists) is a logic
+  // error, distinct from the invalid_argument a malformed batch raises.
   core::StreamingCndIds mon(fast_stream_cfg());
-  EXPECT_THROW(mon.process_batch(Matrix(4, 5, 0.0)), std::invalid_argument);
+  EXPECT_THROW(mon.process_batch(Matrix(4, 5, 0.0)), std::logic_error);
+  EXPECT_THROW((void)mon.buffered(), std::logic_error);
+  core::StreamBatchResult out;
+  EXPECT_THROW(mon.process_batch_into(Matrix(4, 5, 0.0), out), std::logic_error);
 }
 
 TEST(StreamingCndIds, ScoresEveryBatchAndCountsFlows) {

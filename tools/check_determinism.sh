@@ -26,6 +26,14 @@
 #                   be byte-identical at CND_THREADS=1 vs 4 (and in the TSan
 #                   tree when TSAN_BUILD_DIR is set), and every name in
 #                   KERNELS below must appear in them.
+#   SERVING_SWEEP=0 opt out of the serving sweep (on by default):
+#                   bench_serving --dump-scores replays the same flow stream
+#                   through the sharded scoring service at 1 and 4 shards
+#                   with mid-stream hot-swap adaptation; the per-flow score
+#                   dumps must be byte-identical — a batch's scores depend
+#                   only on its admission index, never on worker timing
+#                   (docs/SERVING.md). With TSAN_BUILD_DIR set the TSan
+#                   tree's 4-shard dump must match too.
 #
 # Exit 0 when every comparison matches and the metrics JSONL is well-formed,
 # 1 otherwise.
@@ -211,6 +219,58 @@ if [ "${KERNEL_SWEEP:-1}" = "1" ]; then
         else
           echo "FAIL kernels.csv differs between Release t1 and TSan t4"
           diff "${WORK}/k1/kernels.csv" "${WORK}/ktsan/kernels.csv" | head -10 || true
+          status=1
+        fi
+      fi
+    fi
+  fi
+fi
+
+# Serving sweep (on by default; SERVING_SWEEP=0 opts out): the sharded
+# scoring service must produce byte-identical per-flow scores at any shard
+# count, including across hot-swap adaptation rounds and real backpressure
+# (the queue holds 4 batches while 4 shards drain it).
+if [ "${SERVING_SWEEP:-1}" = "1" ]; then
+  SERVING="${BUILD_DIR}/bench/bench_serving"
+  SERVING_ARGS=(--flows=8000 --batch=256 --queue=4 --adapt-every=3000 --seed=7)
+  if [ ! -x "${SERVING}" ]; then
+    echo "FAIL serving sweep: '${SERVING}' is missing (SERVING_SWEEP=0 to skip)"
+    status=1
+  else
+    serving=$(readlink -f "${SERVING}")
+    for s in 1 4; do
+      mkdir -p "${WORK}/s${s}"
+      echo "== shards=${s} $(basename "${serving}") ${SERVING_ARGS[*]}"
+      (cd "${WORK}/s${s}" && "${serving}" "${SERVING_ARGS[@]}" --shards=${s} \
+          --dump-scores=scores.txt > stdout.log)
+    done
+    if diff -q "${WORK}/s1/scores.txt" "${WORK}/s4/scores.txt" > /dev/null; then
+      echo "OK   serving scores identical between 1 and 4 shards"
+    else
+      echo "FAIL serving scores differ between 1 and 4 shards"
+      diff "${WORK}/s1/scores.txt" "${WORK}/s4/scores.txt" | head -10 || true
+      status=1
+    fi
+    if ! grep -q '"adaptations": 2,' "${WORK}/s1/BENCH_serving.json"; then
+      echo "FAIL serving sweep ran without hot-swap adaptation rounds"
+      status=1
+    fi
+    if [ -n "${TSAN_BUILD_DIR:-}" ]; then
+      TSAN_SERVING="${TSAN_BUILD_DIR}/bench/bench_serving"
+      if [ ! -x "${TSAN_SERVING}" ]; then
+        echo "FAIL serving sweep: TSAN_BUILD_DIR set but '${TSAN_SERVING}' is missing"
+        status=1
+      else
+        tsan_serving=$(readlink -f "${TSAN_SERVING}")
+        mkdir -p "${WORK}/stsan"
+        echo "== shards=4 (TSan) $(basename "${tsan_serving}") ${SERVING_ARGS[*]}"
+        (cd "${WORK}/stsan" && "${tsan_serving}" "${SERVING_ARGS[@]}" --shards=4 \
+            --dump-scores=scores.txt > stdout.log)
+        if diff -q "${WORK}/s1/scores.txt" "${WORK}/stsan/scores.txt" > /dev/null; then
+          echo "OK   serving scores identical between Release 1-shard and TSan 4-shard"
+        else
+          echo "FAIL serving scores differ between Release 1-shard and TSan 4-shard"
+          diff "${WORK}/s1/scores.txt" "${WORK}/stsan/scores.txt" | head -10 || true
           status=1
         fi
       fi

@@ -727,7 +727,7 @@ std::string layer_of(const std::string& vpath) {
   static const std::set<std::string> layers = {
       "obs",  "runtime", "tensor", "linalg",    "nn",
       "ml",   "data",    "scenario", "eval",    "core",
-      "io",   "baselines"};
+      "io",   "baselines", "serve"};
   const std::string layer = vpath.substr(4, slash - 4);
   return layers.count(layer) ? layer : std::string{};
 }
@@ -751,6 +751,9 @@ const std::map<std::string, std::set<std::string>>& layer_deps() {
       {"baselines",
        {"core", "eval", "data", "ml", "nn", "linalg", "tensor", "runtime",
         "obs"}},
+      {"serve",
+       {"io", "core", "eval", "data", "ml", "nn", "linalg", "tensor",
+        "runtime", "obs"}},
   };
   return deps;
 }

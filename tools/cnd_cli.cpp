@@ -26,21 +26,51 @@
 //       Score a test CSV with a saved artifact (no training). --explain
 //       appends the top latent-feature attributions for each alarmed row
 //       (which directions of the learned representation drove the score).
+//
+//   pack  --data=<csv> --out=<bin>
+//       Pack a CSV's feature columns into the binary flow-record format the
+//       serving layer memory-maps (docs/SERVING.md; labels are dropped).
+//
+//   snapshot --data=<csv> --out=<artifact> [--detector=CND-IDS] [--seed=7]
+//            [--epochs=8] [--fpr=0.01]
+//       Train a snapshot-capable registry detector (normal rows form N_c,
+//       the full file is the first stream), calibrate a POT threshold, and
+//       save a versioned serving artifact.
+//
+//   restore --artifact=<bin> --test=<csv>
+//       Rebuild an inference-only replica from a serving artifact and score
+//       a test CSV against the artifact's threshold. Scores are
+//       byte-identical to the detector that produced the snapshot.
+//
+//   serve --flows=<bin> --clean=<csv> [--detector=CND-IDS] [--shards=2]
+//         [--batch=256] [--queue=8] [--adapt-every=0] [--seed=7] [--epochs=8]
+//       Run the sharded scoring service over a packed flow-record file:
+//       bootstrap on the clean CSV's normal rows, stream the file through
+//       the admission queue, print throughput / latency / adaptation
+//       summary. Flow files are assumed preprocessed to the clean CSV's
+//       feature scale.
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "core/cnd_ids.hpp"
 #include "core/detector_factory.hpp"
 #include "core/experience_runner.hpp"
 #include "core/explanation.hpp"
+#include "eval/robust_threshold.hpp"
+#include "eval/timer.hpp"
 #include "io/model_io.hpp"
 #include "data/csv.hpp"
 #include "data/experiences.hpp"
 #include "data/synth.hpp"
 #include "eval/threshold.hpp"
 #include "ml/scaler.hpp"
+#include "obs/metrics.hpp"
+#include "serve/artifact.hpp"
+#include "serve/flow_record.hpp"
+#include "serve/service.hpp"
 
 namespace {
 
@@ -73,7 +103,8 @@ std::string flag(const std::map<std::string, std::string>& f, const std::string&
 
 int usage() {
   std::fprintf(stderr,
-               "usage: cnd <gen|run|score|apply|detectors> [--flags]\n"
+               "usage: cnd <gen|run|score|apply|pack|snapshot|restore|serve|"
+               "detectors> [--flags]\n"
                "  gen       --dataset=x_iiotid|wustl_iiot|cicids2017|unsw_nb15 "
                "--out=FILE [--scale=0.25] [--seed=42]\n"
                "  run       --data=FILE [--detector=CND-IDS] [--experiences=5] "
@@ -84,6 +115,13 @@ int usage() {
                "  score     --train=FILE --test=FILE [--quantile=0.99] "
                "[--epochs=8] [--save-model=FILE]\n"
                "  apply     --model=FILE --test=FILE\n"
+               "  pack      --data=FILE --out=FILE\n"
+               "  snapshot  --data=FILE --out=FILE [--detector=CND-IDS] "
+               "[--seed=7] [--epochs=8] [--fpr=0.01]\n"
+               "  restore   --artifact=FILE --test=FILE\n"
+               "  serve     --flows=FILE --clean=FILE [--detector=CND-IDS] "
+               "[--shards=2] [--batch=256] [--queue=8] [--adapt-every=0] "
+               "[--seed=7] [--epochs=8]\n"
                "  detectors\n");
   return 2;
 }
@@ -98,7 +136,11 @@ int cmd_detectors() {
         kind = "static (fit on first stream)";
         break;
     }
-    std::printf("%-10s %-28s %s\n", name.c_str(), kind,
+    // Snapshot capability decides which detectors `cnd snapshot`/`cnd serve`
+    // accept; construction without training is cheap.
+    const bool snap = core::make_detector(name)->supports_snapshot();
+    std::printf("%-10s %-28s %-10s %s\n", name.c_str(), kind,
+                snap ? "snapshot" : "-",
                 core::detector_description(name).c_str());
   }
   return 0;
@@ -233,6 +275,198 @@ int cmd_apply(const std::map<std::string, std::string>& f) {
   return 0;
 }
 
+int cmd_pack(const std::map<std::string, std::string>& f) {
+  const std::string data_path = flag(f, "data", "");
+  const std::string out = flag(f, "out", "");
+  if (data_path.empty() || out.empty()) return usage();
+
+  data::Dataset ds = data::load_csv(data_path, "pack");
+  serve::FlowRecordWriter writer(out, ds.x.cols());
+  writer.append(ds.x);
+  writer.close();
+  std::printf("packed %zu flows x %zu features into %s\n", writer.rows_written(),
+              ds.x.cols(), out.c_str());
+  return 0;
+}
+
+/// Train a snapshot-capable registry detector the way `cnd score` trains
+/// CND-IDS: normal rows form N_c, the full (unlabeled) file is the first
+/// stream. Shared by `cnd snapshot` and `cnd serve`'s bootstrap.
+std::unique_ptr<core::ContinualDetector> train_for_serving(
+    const data::Dataset& train, const std::string& detector,
+    const core::DetectorConfig& cfg, Matrix& n_clean_out) {
+  std::vector<std::size_t> normal_rows;
+  for (std::size_t i = 0; i < train.size(); ++i)
+    if (train.y[i] == 0) normal_rows.push_back(i);
+  if (normal_rows.size() < 32)
+    throw std::invalid_argument("need at least 32 normal rows in the data file");
+  n_clean_out = train.x.take_rows(normal_rows);
+
+  auto det = core::make_detector(detector, cfg);
+  if (!det->supports_snapshot())
+    throw std::invalid_argument(
+        detector + " does not support snapshots (see `cnd detectors`)");
+  Matrix seed_x;
+  std::vector<int> seed_y;
+  det->setup(core::SetupContext{n_clean_out, seed_x, seed_y});
+  det->observe_experience(train.x);
+  return det;
+}
+
+int cmd_snapshot(const std::map<std::string, std::string>& f) {
+  const std::string data_path = flag(f, "data", "");
+  const std::string out = flag(f, "out", "");
+  if (data_path.empty() || out.empty()) return usage();
+  const std::string detector = flag(f, "detector", "CND-IDS");
+  const auto seed = static_cast<std::uint64_t>(std::stoull(flag(f, "seed", "7")));
+  const double fpr = std::stod(flag(f, "fpr", "0.01"));
+
+  core::DetectorConfig cfg;
+  cfg.seed = seed;
+  cfg.cnd.seed = seed;
+  cfg.cnd.cfe.epochs =
+      static_cast<std::size_t>(std::stoul(flag(f, "epochs", "8")));
+
+  data::Dataset train = data::load_csv(data_path, "snapshot");
+  Matrix n_clean;
+  const auto det = train_for_serving(train, detector, cfg, n_clean);
+  const double tau = eval::pot_threshold(
+      det->score(n_clean), {.tail_quantile = 0.9, .target_prob = fpr});
+
+  const auto artifact = serve::make_artifact(1, detector, tau, *det);
+  serve::save_artifact(out, *artifact);
+  std::printf("saved %s artifact v%llu to %s (threshold %.6g, %zu model bytes)\n"
+              "  %s\n",
+              detector.c_str(),
+              static_cast<unsigned long long>(artifact->version), out.c_str(),
+              tau, artifact->model_bytes.size(),
+              core::detector_description(detector).c_str());
+  return 0;
+}
+
+int cmd_restore(const std::map<std::string, std::string>& f) {
+  const std::string artifact_path = flag(f, "artifact", "");
+  const std::string test_path = flag(f, "test", "");
+  if (artifact_path.empty() || test_path.empty()) return usage();
+
+  const serve::ServingArtifact artifact = serve::load_artifact(artifact_path);
+  const auto replica = serve::restore_replica(artifact);
+  std::fprintf(stderr, "restored %s replica from artifact v%llu\n  %s\n",
+               artifact.detector.c_str(),
+               static_cast<unsigned long long>(artifact.version),
+               core::detector_description(artifact.detector).c_str());
+
+  data::Dataset test = data::load_csv(test_path, "test");
+  const auto scores = replica->score(test.x);
+  std::printf("# row,score,verdict  (threshold=%.6f from artifact v%llu)\n",
+              artifact.threshold,
+              static_cast<unsigned long long>(artifact.version));
+  for (std::size_t i = 0; i < scores.size(); ++i)
+    std::printf("%zu,%.6f,%s\n", i, scores[i],
+                scores[i] > artifact.threshold ? "attack" : "normal");
+  return 0;
+}
+
+/// Upper bucket edge reaching q of the histogram's samples (the same
+/// estimate bench_serving reports).
+double hist_quantile(const obs::Histogram& h, double q) {
+  const std::uint64_t total = h.count();
+  if (total == 0) return 0.0;
+  const auto target =
+      static_cast<std::uint64_t>(q * static_cast<double>(total) + 0.5);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < h.n_buckets(); ++i) {
+    cum += h.bucket_count(i);
+    if (cum >= target)
+      return h.bounds()[i < h.bounds().size() ? i : h.bounds().size() - 1];
+  }
+  return h.bounds().back();
+}
+
+int cmd_serve(const std::map<std::string, std::string>& f) {
+  const std::string flows_path = flag(f, "flows", "");
+  const std::string clean_path = flag(f, "clean", "");
+  if (flows_path.empty() || clean_path.empty()) return usage();
+  const auto seed = static_cast<std::uint64_t>(std::stoull(flag(f, "seed", "7")));
+  const auto batch_rows =
+      static_cast<std::size_t>(std::stoul(flag(f, "batch", "256")));
+  if (batch_rows == 0) return usage();
+
+  serve::ServiceConfig cfg;
+  cfg.detector = flag(f, "detector", "CND-IDS");
+  cfg.detector_cfg.seed = seed;
+  cfg.detector_cfg.cnd.seed = seed;
+  cfg.detector_cfg.cnd.cfe.epochs =
+      static_cast<std::size_t>(std::stoul(flag(f, "epochs", "8")));
+  cfg.shards = static_cast<std::size_t>(std::stoul(flag(f, "shards", "2")));
+  cfg.queue_capacity = static_cast<std::size_t>(std::stoul(flag(f, "queue", "8")));
+  cfg.adapt_interval_flows =
+      static_cast<std::size_t>(std::stoul(flag(f, "adapt-every", "0")));
+
+  // Latency histograms need observability on; metrics are a write-only side
+  // channel, so the scores are unaffected (docs/OBSERVABILITY.md).
+  obs::set_enabled(true);
+
+  serve::FlowRecordFile file(flows_path);
+  data::Dataset clean = data::load_csv(clean_path, "clean");
+  std::vector<std::size_t> normal_rows;
+  for (std::size_t i = 0; i < clean.size(); ++i)
+    if (clean.y[i] == 0) normal_rows.push_back(i);
+  if (normal_rows.size() < 32) {
+    std::fprintf(stderr, "serve: need at least 32 normal rows in --clean\n");
+    return 1;
+  }
+  if (file.dim() != clean.x.cols()) {
+    std::fprintf(stderr, "serve: flow file has %zu features, --clean has %zu\n",
+                 file.dim(), clean.x.cols());
+    return 1;
+  }
+
+  serve::ScoringService svc(cfg);
+  eval::Timer boot_timer;
+  svc.bootstrap(clean.x.take_rows(normal_rows));
+  std::fprintf(stderr, "serve: bootstrapped %s on %zu clean rows (%.0f ms), "
+               "threshold %.6g, %zu shard(s)\n",
+               cfg.detector.c_str(), normal_rows.size(),
+               boot_timer.elapsed_ms(), svc.threshold(), cfg.shards);
+
+  Matrix batch;
+  std::size_t retries = 0;
+  eval::Timer soak_timer;
+  for (std::size_t lo = 0; lo < file.rows(); lo += batch_rows) {
+    file.copy_rows_into(lo, std::min(lo + batch_rows, file.rows()), batch);
+    while (!svc.try_submit(batch)) {
+      ++retries;
+      std::this_thread::yield();
+    }
+  }
+  svc.drain();
+  const double soak_ms = soak_timer.elapsed_ms();
+  svc.shutdown();
+
+  std::size_t alarms = 0;
+  for (const auto& b : svc.results())
+    for (int v : b.verdicts) alarms += static_cast<std::size_t>(v);
+  const obs::Histogram& score_ms = obs::metrics().histogram("serve.score_ms");
+
+  std::printf("flows          %llu\n",
+              static_cast<unsigned long long>(svc.flows_admitted()));
+  std::printf("flows/sec      %.0f\n",
+              static_cast<double>(svc.flows_admitted()) / (soak_ms / 1000.0));
+  std::printf("latency        p50 <= %.3g ms, p99 <= %.3g ms per batch\n",
+              hist_quantile(score_ms, 0.50), hist_quantile(score_ms, 0.99));
+  std::printf("rejected       %llu (%zu producer retries)\n",
+              static_cast<unsigned long long>(svc.rejected()), retries);
+  std::printf("adaptations    %llu (artifact v%llu, %llu replica swaps)\n",
+              static_cast<unsigned long long>(svc.adaptations()),
+              static_cast<unsigned long long>(svc.artifact_version()),
+              static_cast<unsigned long long>(svc.swaps()));
+  std::printf("alarms         %zu (rate %.4f)\n", alarms,
+              static_cast<double>(alarms) /
+                  static_cast<double>(svc.flows_admitted()));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -244,6 +478,10 @@ int main(int argc, char** argv) {
     if (cmd == "run") return cmd_run(flags);
     if (cmd == "score") return cmd_score(flags);
     if (cmd == "apply") return cmd_apply(flags);
+    if (cmd == "pack") return cmd_pack(flags);
+    if (cmd == "snapshot") return cmd_snapshot(flags);
+    if (cmd == "restore") return cmd_restore(flags);
+    if (cmd == "serve") return cmd_serve(flags);
     if (cmd == "detectors") return cmd_detectors();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "cnd %s: %s\n", cmd.c_str(), e.what());

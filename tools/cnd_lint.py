@@ -93,6 +93,8 @@ LAYER_DEPS = {
     "io": {"core", "eval", "data", "ml", "nn", "linalg", "tensor", "runtime", "obs"},
     "baselines": {"core", "eval", "data", "ml", "nn", "linalg", "tensor",
                   "runtime", "obs"},
+    "serve": {"io", "core", "eval", "data", "ml", "nn", "linalg", "tensor",
+              "runtime", "obs"},
 }
 # cnd_factory spans core+baselines by design (see src/CMakeLists.txt); its
 # sources live in src/core but may reach into baselines.
