@@ -12,6 +12,11 @@
 // adaptive.skips_total / adaptive.drift_signals_total, gauge
 // adaptive.ref_score_mean, one adaptive.gate event per experience. All obs
 // calls sit outside the cnd-hot drift statistic (src/obs strings allocate).
+//
+// Threading: single-writer by design — all mutable state is confined to
+// the experience-runner thread, so there are no mutexes to annotate
+// (docs/STATIC_ANALYSIS.md, "Concurrency contracts"). Cross-thread use
+// goes through serve::ScoringService snapshots, never a shared instance.
 #pragma once
 
 #include "core/cnd_ids.hpp"

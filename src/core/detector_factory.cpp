@@ -1,10 +1,10 @@
 #include "core/detector_factory.hpp"
 
 #include <map>
-#include <mutex>
 #include <stdexcept>
 #include <utility>
 
+#include "runtime/annotated_mutex.hpp"
 #include "tensor/rng.hpp"
 
 namespace cnd::core {
@@ -61,8 +61,8 @@ struct Entry {
 };
 
 struct Registry {
-  std::mutex mutex;
-  std::map<std::string, Entry> entries;
+  runtime::AnnotatedMutex mutex;
+  std::map<std::string, Entry> entries CND_GUARDED_BY(mutex);
 };
 
 /// Wrap a detector object in a FrozenScorer; the object lives in a
@@ -77,7 +77,7 @@ std::unique_ptr<ContinualDetector> frozen(const std::string& name,
       [ptr](const Matrix& x) { return ptr->score(x); });
 }
 
-void register_builtins(Registry& r) {
+void register_builtins(Registry& r) CND_REQUIRES(r.mutex) {
   auto add = [&](const std::string& name, DetectorKind kind, DetectorFactory f,
                  std::string description) {
     r.entries.emplace(name, Entry{kind, std::move(f), std::move(description)});
@@ -168,6 +168,7 @@ void register_builtins(Registry& r) {
 Registry& registry() {
   static Registry* r = [] {
     auto* reg = new Registry();  // never destroyed: usable during teardown
+    runtime::MutexLock lk(reg->mutex);  // other threads exist before first use
     register_builtins(*reg);
     return reg;
   }();
@@ -175,7 +176,8 @@ Registry& registry() {
 }
 
 // Caller must hold r.mutex (so this must not re-lock via detector_names()).
-[[noreturn]] void throw_unknown(const Registry& r, const std::string& name) {
+[[noreturn]] void throw_unknown(const Registry& r, const std::string& name)
+    CND_REQUIRES(r.mutex) {
   std::string msg = "unknown detector '" + name + "'; registered:";
   for (const auto& [n, entry] : r.entries) msg += " " + n;
   throw std::invalid_argument(msg);
@@ -183,7 +185,7 @@ Registry& registry() {
 
 Entry lookup(const std::string& name) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lk(r.mutex);
+  runtime::MutexLock lk(r.mutex);
   const auto it = r.entries.find(name);
   if (it == r.entries.end()) throw_unknown(r, name);
   return it->second;
@@ -206,7 +208,7 @@ std::string detector_description(const std::string& name) {
 
 std::vector<std::string> detector_names() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lk(r.mutex);
+  runtime::MutexLock lk(r.mutex);
   std::vector<std::string> names;
   names.reserve(r.entries.size());
   for (const auto& [name, entry] : r.entries) names.push_back(name);
@@ -216,7 +218,7 @@ std::vector<std::string> detector_names() {
 bool register_detector(const std::string& name, DetectorKind kind,
                        DetectorFactory factory, std::string description) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lk(r.mutex);
+  runtime::MutexLock lk(r.mutex);
   const bool replaced = r.entries.count(name) > 0;
   r.entries[name] = Entry{kind, std::move(factory), std::move(description)};
   return replaced;

@@ -8,6 +8,12 @@
 // when drift is signaled OR the buffer reaches a size cap — whichever comes
 // first. This is the "future-work" deployment mode the paper's streaming
 // framing implies but never spells out.
+//
+// Threading: single-writer by design. All mutable state (buffer, drift
+// statistic, model) is confined to the one thread driving process_batch /
+// adapt; there are no mutexes to annotate (docs/STATIC_ANALYSIS.md,
+// "Concurrency contracts"). Concurrent serving wraps a *snapshot* of this
+// detector behind serve::ScoringService instead of sharing it.
 #pragma once
 
 #include <stdexcept>

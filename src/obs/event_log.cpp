@@ -47,28 +47,28 @@ FileSink::~FileSink() {
 }
 
 void FileSink::write(std::string_view line) {
-  std::lock_guard<std::mutex> lk(mutex_);
+  runtime::MutexLock lk(mutex_);
   std::fwrite(line.data(), 1, line.size(), file_);
   std::fputc('\n', file_);
 }
 
 void FileSink::flush() {
-  std::lock_guard<std::mutex> lk(mutex_);
+  runtime::MutexLock lk(mutex_);
   std::fflush(file_);
 }
 
 void MemorySink::write(std::string_view line) {
-  std::lock_guard<std::mutex> lk(mutex_);
+  runtime::MutexLock lk(mutex_);
   lines_.emplace_back(line);
 }
 
 std::vector<std::string> MemorySink::lines() const {
-  std::lock_guard<std::mutex> lk(mutex_);
+  runtime::MutexLock lk(mutex_);
   return lines_;
 }
 
 void EventLog::set_sink(std::shared_ptr<EventSink> sink) {
-  std::lock_guard<std::mutex> lk(mutex_);
+  runtime::MutexLock lk(mutex_);
   sink_ = std::move(sink);
   enabled_.store(sink_ != nullptr, std::memory_order_relaxed);
 }
@@ -95,12 +95,12 @@ void EventLog::emit(std::string_view event, std::initializer_list<Field> fields)
 }
 
 void EventLog::emit_raw(std::string_view json_line) {
-  std::lock_guard<std::mutex> lk(mutex_);
+  runtime::MutexLock lk(mutex_);
   if (sink_) sink_->write(json_line);
 }
 
 void EventLog::flush() {
-  std::lock_guard<std::mutex> lk(mutex_);
+  runtime::MutexLock lk(mutex_);
   if (sink_) sink_->flush();
 }
 

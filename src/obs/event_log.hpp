@@ -18,12 +18,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <initializer_list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "runtime/annotated_mutex.hpp"
 
 namespace cnd::obs {
 
@@ -71,8 +73,11 @@ class FileSink final : public EventSink {
   void flush() override;
 
  private:
-  std::mutex mutex_;
-  std::FILE* file_ = nullptr;
+  runtime::AnnotatedMutex mutex_;
+  /// The handle itself is set once in the constructor and cleared in the
+  /// destructor (both exempt from the analysis); the guarded part is the
+  /// stream's write position, so all writes/flushes hold mutex_.
+  std::FILE* file_ CND_GUARDED_BY(mutex_) = nullptr;
 };
 
 /// Collects lines in memory (tests).
@@ -82,8 +87,8 @@ class MemorySink final : public EventSink {
   std::vector<std::string> lines() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<std::string> lines_;
+  mutable runtime::AnnotatedMutex mutex_;
+  std::vector<std::string> lines_ CND_GUARDED_BY(mutex_);
 };
 
 class EventLog {
@@ -108,8 +113,8 @@ class EventLog {
  private:
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> seq_{0};
-  std::mutex mutex_;  ///< guards sink_ swap vs use.
-  std::shared_ptr<EventSink> sink_;
+  runtime::AnnotatedMutex mutex_;  ///< guards sink_ swap vs use.
+  std::shared_ptr<EventSink> sink_ CND_GUARDED_BY(mutex_);
 };
 
 /// The process-global event log every instrumented layer emits to.

@@ -52,7 +52,7 @@ const std::vector<double>& default_time_buckets_ms() {
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lk(mutex_);
+  runtime::MutexLock lk(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end())
     it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
@@ -60,7 +60,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lk(mutex_);
+  runtime::MutexLock lk(mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end())
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -69,7 +69,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       const std::vector<double>& bounds) {
-  std::lock_guard<std::mutex> lk(mutex_);
+  runtime::MutexLock lk(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end())
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>(bounds))
@@ -78,14 +78,14 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard<std::mutex> lk(mutex_);
+  runtime::MutexLock lk(mutex_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
 }
 
 std::vector<std::string> MetricsRegistry::counter_names() const {
-  std::lock_guard<std::mutex> lk(mutex_);
+  runtime::MutexLock lk(mutex_);
   std::vector<std::string> out;
   out.reserve(counters_.size());
   for (const auto& [name, c] : counters_) out.push_back(name);
@@ -93,7 +93,7 @@ std::vector<std::string> MetricsRegistry::counter_names() const {
 }
 
 std::vector<std::string> MetricsRegistry::gauge_names() const {
-  std::lock_guard<std::mutex> lk(mutex_);
+  runtime::MutexLock lk(mutex_);
   std::vector<std::string> out;
   out.reserve(gauges_.size());
   for (const auto& [name, g] : gauges_) out.push_back(name);
@@ -101,7 +101,7 @@ std::vector<std::string> MetricsRegistry::gauge_names() const {
 }
 
 std::vector<std::string> MetricsRegistry::histogram_names() const {
-  std::lock_guard<std::mutex> lk(mutex_);
+  runtime::MutexLock lk(mutex_);
   std::vector<std::string> out;
   out.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) out.push_back(name);
@@ -109,7 +109,7 @@ std::vector<std::string> MetricsRegistry::histogram_names() const {
 }
 
 std::string MetricsRegistry::to_json_fields() const {
-  std::lock_guard<std::mutex> lk(mutex_);
+  runtime::MutexLock lk(mutex_);
   std::string out = "\"counters\":{";
   bool first = true;
   for (const auto& [name, c] : counters_) {

@@ -22,10 +22,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "runtime/annotated_mutex.hpp"
 
 namespace cnd::obs {
 
@@ -139,10 +140,12 @@ class MetricsRegistry {
   std::string to_json_fields() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  /// Guards the name->metric maps only; the metrics themselves are lock-free
+  /// atomics, so cached handles never touch this mutex again.
+  mutable runtime::AnnotatedMutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_ CND_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_ CND_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_ CND_GUARDED_BY(mutex_);
 };
 
 /// The process-global registry every instrumented layer writes to.

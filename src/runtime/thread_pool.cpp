@@ -34,9 +34,9 @@ std::size_t default_threads() {
   return hw ? hw : 1;
 }
 
-std::mutex g_config_mutex;
-std::size_t g_threads = 0;  // 0 = not yet initialized
-std::unique_ptr<ThreadPool> g_pool;
+AnnotatedMutex g_config_mutex;
+std::size_t g_threads CND_GUARDED_BY(g_config_mutex) = 0;  // 0 = not yet initialized
+std::unique_ptr<ThreadPool> g_pool CND_GUARDED_BY(g_config_mutex);
 
 }  // namespace
 
@@ -58,7 +58,7 @@ ThreadPool::ThreadPool(std::size_t n_workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     stop_ = true;
   }
   cv_work_.notify_all();
@@ -81,7 +81,7 @@ void ThreadPool::work_on(Job& job, std::size_t lane) {
     try {
       (*job.fn)(c);
     } catch (...) {
-      std::lock_guard<std::mutex> lk(mutex_);
+      MutexLock lk(mutex_);
       if (!job.error) job.error = std::current_exception();
     }
     ++executed;
@@ -104,8 +104,10 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
   for (;;) {
     Job* job = nullptr;
     {
-      std::unique_lock<std::mutex> lk(mutex_);
-      cv_work_.wait(lk, [&] { return stop_ || (job_ != nullptr && epoch_ != seen_epoch); });
+      MutexLock lk(mutex_);
+      // Explicit predicate loop (not wait(lk, pred)): the guarded reads must
+      // sit in this function's scope for the thread-safety analysis.
+      while (!stop_ && !(job_ != nullptr && epoch_ != seen_epoch)) cv_work_.wait(lk);
       if (stop_) return;
       seen_epoch = epoch_;
       job = job_;
@@ -114,7 +116,7 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
     // Lane 0 is the calling thread; workers are lanes 1..W.
     work_on(*job, worker_index + 1);
     {
-      std::lock_guard<std::mutex> lk(mutex_);
+      MutexLock lk(mutex_);
       --job->workers_inside;
       if (job->workers_inside == 0 &&
           job->done.load(std::memory_order_acquire) == job->n_chunks)
@@ -127,7 +129,7 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
 void ThreadPool::run(std::size_t n_chunks,
                      const std::function<void(std::size_t)>& chunk_fn) {
   if (n_chunks == 0) return;
-  std::lock_guard<std::mutex> serialize(run_mutex_);
+  MutexLock serialize(run_mutex_);
 
   {
     obs::MetricsRegistry& m = obs::metrics();
@@ -140,7 +142,7 @@ void ThreadPool::run(std::size_t n_chunks,
   job.fn = &chunk_fn;
   job.n_chunks = n_chunks;
   {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     job_ = &job;
     ++epoch_;
   }
@@ -150,25 +152,26 @@ void ThreadPool::run(std::size_t n_chunks,
 
   // Wait until every chunk is done AND every worker has left work_on —
   // only then is it safe to pop `job` off this stack frame.
-  std::unique_lock<std::mutex> lk(mutex_);
-  cv_done_.wait(lk, [&] {
-    return job.done.load(std::memory_order_acquire) == n_chunks &&
-           job.workers_inside == 0;
-  });
-  job_ = nullptr;
-  lk.unlock();
+  {
+    MutexLock lk(mutex_);
+    while (!(job.done.load(std::memory_order_acquire) == n_chunks &&
+             job.workers_inside == 0))
+      cv_done_.wait(lk);
+    job_ = nullptr;
+  }
 
   if (job.error) std::rethrow_exception(job.error);
 }
 
+// cnd-block-ok(bounded O(1) config read under g_config_mutex; never waits)
 std::size_t threads() {
-  std::lock_guard<std::mutex> lk(g_config_mutex);
+  MutexLock lk(g_config_mutex);
   if (g_threads == 0) g_threads = default_threads();
   return g_threads;
 }
 
 void set_threads(std::size_t n) {
-  std::lock_guard<std::mutex> lk(g_config_mutex);
+  MutexLock lk(g_config_mutex);
   g_threads = n ? n : default_threads();
   g_pool.reset();  // rebuilt lazily at the new size
 }
@@ -180,7 +183,7 @@ namespace detail {
 // cnd-alloc-ok(lazily (re)builds the process-wide pool when the lane count changes)
 ThreadPool& shared_pool() {
   const std::size_t lanes = threads();
-  std::lock_guard<std::mutex> lk(g_config_mutex);
+  MutexLock lk(g_config_mutex);
   if (!g_pool || g_pool->n_workers() != lanes - 1)
     g_pool = std::make_unique<ThreadPool>(lanes - 1);
   return *g_pool;

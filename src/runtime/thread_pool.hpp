@@ -15,13 +15,14 @@
 // any CND_THREADS, and CND_THREADS=1 is a true serial fallback.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "runtime/annotated_mutex.hpp"
 
 namespace cnd::runtime {
 
@@ -58,13 +59,19 @@ class ThreadPool {
   void work_on(Job& job, std::size_t lane);
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;                  // guards job_, epoch_, stop_, Job bookkeeping
-  std::condition_variable cv_work_;   // workers wait here for a new job
-  std::condition_variable cv_done_;   // run() waits here for completion
-  std::mutex run_mutex_;              // serializes concurrent run() callers
-  Job* job_ = nullptr;
-  std::uint64_t epoch_ = 0;           // bumped per job so workers join each once
-  bool stop_ = false;
+  /// Guards job_, epoch_, stop_, and the Job bookkeeping fields
+  /// (Job::workers_inside / Job::error — a nested struct cannot name its
+  /// owning pool's mutex in an annotation, so those two stay prose-guarded).
+  AnnotatedMutex mutex_;
+  CondVar cv_work_;  // workers wait here for a new job
+  CondVar cv_done_;  // run() waits here for completion
+  /// Serializes concurrent run() callers; always taken before mutex_ (the
+  /// declared order lets Clang flag an inversion at compile time).
+  AnnotatedMutex run_mutex_ CND_ACQUIRED_BEFORE(mutex_);
+  Job* job_ CND_GUARDED_BY(mutex_) = nullptr;
+  /// Bumped per job so workers join each job exactly once.
+  std::uint64_t epoch_ CND_GUARDED_BY(mutex_) = 0;
+  bool stop_ CND_GUARDED_BY(mutex_) = false;
 };
 
 /// Effective lane count (caller + workers) used by parallel_for; always

@@ -7,12 +7,12 @@
 // bounded queue is the backpressure mechanism, not an optimization.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
-#include <mutex>
 #include <optional>
+#include <utility>
 #include <vector>
 
+#include "runtime/annotated_mutex.hpp"
 #include "tensor/assert.hpp"
 
 namespace cnd::serve {
@@ -20,7 +20,7 @@ namespace cnd::serve {
 template <typename T>
 class RingBuffer {
  public:
-  explicit RingBuffer(std::size_t capacity) : slots_(capacity) {
+  explicit RingBuffer(std::size_t capacity) : capacity_(capacity), slots_(capacity) {
     require(capacity > 0, "RingBuffer: capacity must be > 0");
   }
 
@@ -28,10 +28,13 @@ class RingBuffer {
   RingBuffer& operator=(const RingBuffer&) = delete;
 
   /// Admit one item. Returns false immediately when the queue is full or
-  /// closed — the caller decides whether to retry, drop, or shed load.
+  /// closed — the caller decides whether to retry, drop, or shed load. The
+  /// producer never sleeps here: one bounded O(1) critical section, no
+  /// cv wait, no allocation (the slot vector is sized at construction).
+  // cnd-wait-free
   bool try_push(T item) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      runtime::MutexLock lock(mu_);  // cnd-block-ok(bounded O(1) admission critical section; never waits on a cv)
       if (closed_ || size_ == slots_.size()) return false;
       slots_[(head_ + size_) % slots_.size()] = std::move(item);
       ++size_;
@@ -43,8 +46,8 @@ class RingBuffer {
   /// Block until an item is available or the queue is closed AND drained.
   /// std::nullopt means shutdown: no more items will ever arrive.
   std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [&] { return size_ > 0 || closed_; });
+    runtime::MutexLock lock(mu_);
+    while (!(size_ > 0 || closed_)) not_empty_.wait(lock);
     if (size_ == 0) return std::nullopt;
     T item = std::move(slots_[head_]);
     head_ = (head_ + 1) % slots_.size();
@@ -55,26 +58,30 @@ class RingBuffer {
   /// Stop admitting; consumers drain the remaining items, then see nullopt.
   void close() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      runtime::MutexLock lock(mu_);
       closed_ = true;
     }
     not_empty_.notify_all();
   }
 
-  std::size_t capacity() const { return slots_.size(); }
+  std::size_t capacity() const { return capacity_; }
 
+  // cnd-block-ok(bounded O(1) size probe under mu_; never waits on a cv)
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    runtime::MutexLock lock(mu_);
     return size_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::vector<T> slots_;
-  std::size_t head_ = 0;
-  std::size_t size_ = 0;
-  bool closed_ = false;
+  mutable runtime::AnnotatedMutex mu_;
+  runtime::CondVar not_empty_;
+  /// Fixed at construction; duplicated outside the guarded state so
+  /// capacity() stays lock-free for producer-side sizing decisions.
+  std::size_t capacity_;
+  std::vector<T> slots_ CND_GUARDED_BY(mu_);
+  std::size_t head_ CND_GUARDED_BY(mu_) = 0;
+  std::size_t size_ CND_GUARDED_BY(mu_) = 0;
+  bool closed_ CND_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace cnd::serve

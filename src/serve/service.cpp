@@ -76,12 +76,12 @@ bool ScoringService::try_submit(const Matrix& batch) {
   slot.artifact = artifact_;
   slot.first_flow = flows_admitted_;
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    runtime::MutexLock lock(pending_mu_);
     ++pending_;
   }
   if (!queue_.try_push(&slot)) {
     {
-      std::lock_guard<std::mutex> lock(pending_mu_);
+      runtime::MutexLock lock(pending_mu_);
       --pending_;
     }
     // No worker ever saw the slot; dropping it keeps results() = admitted
@@ -129,8 +129,8 @@ namespace {
 
 // The serving hot loop: score the batch and apply the artifact's threshold,
 // all through slot-owned storage — steady state (fixed batch shape, no
-// swap) never touches the heap.
-// cnd-hot
+// swap) never touches the heap, takes no lock, and never sleeps.
+// cnd-hot cnd-wait-free
 void score_slot(core::ContinualDetector& replica, BatchResult& slot) {
   replica.score_into(slot.input, slot.scores);
   const double thr = slot.artifact->threshold;
@@ -169,7 +169,7 @@ void ScoringService::worker_loop() {
     flows.add(b.scores.size());
     if (cfg_.release_scored_inputs) b.input = Matrix();
     {
-      std::lock_guard<std::mutex> lock(pending_mu_);
+      runtime::MutexLock lock(pending_mu_);
       --pending_;
       if (pending_ == 0) drained_cv_.notify_all();
     }
@@ -177,8 +177,8 @@ void ScoringService::worker_loop() {
 }
 
 void ScoringService::drain() {
-  std::unique_lock<std::mutex> lock(pending_mu_);
-  drained_cv_.wait(lock, [&] { return pending_ == 0; });
+  runtime::MutexLock lock(pending_mu_);
+  while (pending_ != 0) drained_cv_.wait(lock);
 }
 
 void ScoringService::shutdown() {

@@ -30,16 +30,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/detector_factory.hpp"
+#include "runtime/annotated_mutex.hpp"
 #include "serve/artifact.hpp"
 #include "serve/ring_buffer.hpp"
 #include "tensor/matrix.hpp"
@@ -140,10 +139,10 @@ class ScoringService {
   std::deque<BatchResult> results_;
   RingBuffer<BatchResult*> queue_;
   std::vector<std::thread> workers_;
-  std::mutex pending_mu_;
-  std::condition_variable drained_cv_;
-  std::size_t pending_ = 0;  ///< admitted but not yet scored.
-  bool running_ = false;
+  runtime::AnnotatedMutex pending_mu_;
+  runtime::CondVar drained_cv_;  ///< drain() sleeps here until pending_ hits 0.
+  std::size_t pending_ CND_GUARDED_BY(pending_mu_) = 0;  ///< admitted but not yet scored.
+  bool running_ = false;  ///< producer-only, like the artifact_/version_ block above.
 };
 
 }  // namespace cnd::serve

@@ -126,6 +126,47 @@ TEST(RingBuffer, PopBlocksUntilPush) {
   consumer.join();
 }
 
+TEST(RingBuffer, CapacityOneAlternatesPushPop) {
+  serve::RingBuffer<int> q(1);
+  EXPECT_EQ(q.capacity(), 1u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(q.try_push(i));
+    EXPECT_FALSE(q.try_push(i + 100));  // a single slot: second push rejects
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.pop().value(), i);
+    EXPECT_EQ(q.size(), 0u);
+  }
+}
+
+TEST(RingBuffer, FullWraparoundPreservesFifoOrder) {
+  // Interleave pushes and pops so head_ crosses the index wrap several
+  // times; FIFO order must hold throughout.
+  serve::RingBuffer<int> q(3);
+  int next = 0, expect = 0;
+  for (int round = 0; round < 4; ++round) {
+    while (q.try_push(next)) ++next;  // fill to capacity
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_EQ(q.pop().value(), expect++);  // free one slot across the wrap
+    EXPECT_EQ(q.pop().value(), expect++);
+    EXPECT_TRUE(q.try_push(next++));  // re-admit into the wrapped slot
+  }
+  while (q.size() > 0) EXPECT_EQ(q.pop().value(), expect++);
+  EXPECT_EQ(next, expect);  // every admitted item came out, in order
+}
+
+TEST(RingBuffer, TryPushAfterDrainingClosedBufferStillRejects) {
+  serve::RingBuffer<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  q.close();
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_FALSE(q.pop().has_value());  // drained + closed: shutdown signal
+  // Capacity is available again, but closed wins: admission stays shut.
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_EQ(q.size(), 0u);
+}
+
 // ---- Snapshot/restore byte-identity across the registry ---------------------
 
 // Every snapshot-capable registry detector must restore to a replica that

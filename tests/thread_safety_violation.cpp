@@ -1,0 +1,25 @@
+// Deliberate thread-safety violation: reads a guarded member without
+// holding its mutex. This TU is EXCLUDE_FROM_ALL and must FAIL to compile
+// under Clang's -Wthread-safety error gate — the thread_safety_negative_compile
+// ctest case (tests/CMakeLists.txt) builds it and asserts the failure,
+// proving the gate actually fires. It never links into anything.
+
+#include "runtime/annotated_mutex.hpp"
+
+namespace {
+
+struct Violator {
+  cnd::runtime::AnnotatedMutex mu_;
+  int value_ CND_GUARDED_BY(mu_) = 0;
+
+  // No lock: under -Wthread-safety this is "reading variable 'value_'
+  // requires holding mutex 'mu_'" and the error gate rejects the TU.
+  int racy_read() const { return value_; }
+};
+
+}  // namespace
+
+int thread_safety_violation_entry() {
+  Violator v;
+  return v.racy_read();
+}

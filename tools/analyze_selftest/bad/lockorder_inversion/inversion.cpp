@@ -1,0 +1,16 @@
+// cnd-analyze-path: src/core/inversion.cpp
+// cnd-analyze-expect: lock-order
+// Classic ABBA: two threads running forward() and backward() can deadlock.
+namespace cnd::core {
+
+void forward() {
+  runtime::MutexLock a(g_alpha_mutex);
+  runtime::MutexLock b(g_beta_mutex);
+}
+
+void backward() {
+  runtime::MutexLock b(g_beta_mutex);
+  runtime::MutexLock a(g_alpha_mutex);
+}
+
+}  // namespace cnd::core

@@ -1,0 +1,16 @@
+// cnd-analyze-path: src/core/reentrant.cpp
+// cnd-analyze-expect: lock-order
+namespace cnd::core {
+
+struct Counter {
+  runtime::AnnotatedMutex mu_;
+  int n_ = 0;
+
+  void bump() {
+    runtime::MutexLock lk(mu_);
+    runtime::MutexLock again(mu_);  // re-entry deadlocks a non-recursive mutex
+    ++n_;
+  }
+};
+
+}  // namespace cnd::core

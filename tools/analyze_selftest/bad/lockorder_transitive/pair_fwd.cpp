@@ -1,0 +1,22 @@
+// cnd-analyze-path: src/core/pair_fwd.cpp
+// cnd-analyze-expect: lock-order
+// The inversion only exists through the helpers: each caller holds one
+// mutex while a qualified call acquires the other.
+namespace cnd::core {
+
+namespace sync {
+void with_beta();
+void with_alpha();
+}  // namespace sync
+
+void forward() {
+  runtime::MutexLock a(g_alpha_mutex);
+  sync::with_beta();
+}
+
+void backward() {
+  runtime::MutexLock b(g_beta_mutex);
+  sync::with_alpha();
+}
+
+}  // namespace cnd::core

@@ -1,0 +1,12 @@
+// cnd-analyze-path: src/core/pair_helpers.cpp
+namespace cnd::core::sync {
+
+void with_beta() {
+  runtime::MutexLock b(g_beta_mutex);
+}
+
+void with_alpha() {
+  runtime::MutexLock a(g_alpha_mutex);
+}
+
+}  // namespace cnd::core::sync

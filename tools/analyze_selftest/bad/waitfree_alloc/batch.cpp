@@ -1,0 +1,12 @@
+// cnd-analyze-path: src/serve/batch.cpp
+// cnd-analyze-expect: wait-free
+#include <vector>
+
+namespace cnd::serve {
+
+// cnd-wait-free
+void widen(std::vector<double>& v, double x) {
+  v.push_back(x);
+}
+
+}  // namespace cnd::serve

@@ -1,0 +1,12 @@
+// cnd-analyze-path: src/serve/trace.cpp
+// cnd-analyze-expect: wait-free
+#include <cstdio>
+
+namespace cnd::serve {
+
+// cnd-wait-free
+void trace_admit(int slot) {
+  std::fprintf(stderr, "admit %d\n", slot);
+}
+
+}  // namespace cnd::serve

@@ -1,0 +1,16 @@
+// cnd-analyze-path: src/serve/gate.cpp
+// cnd-analyze-expect: wait-free
+namespace cnd::serve {
+
+struct Gate {
+  runtime::AnnotatedMutex mu_;
+  bool open_ = false;
+
+  // cnd-wait-free
+  bool peek() {
+    runtime::MutexLock lk(mu_);
+    return open_;
+  }
+};
+
+}  // namespace cnd::serve

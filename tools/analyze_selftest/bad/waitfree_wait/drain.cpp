@@ -1,0 +1,21 @@
+// cnd-analyze-path: src/serve/drain.cpp
+// cnd-analyze-expect: wait-free
+// The lock itself is waived at its site, but the cv wait parks the caller —
+// that still violates the wait-free contract.
+namespace cnd::serve {
+
+struct Queue {
+  runtime::AnnotatedMutex mu_;
+  runtime::CondVar ready_;
+  int n_ = 0;
+
+  // cnd-wait-free
+  int take() {
+    // cnd-block-ok(bounded pop critical section)
+    runtime::MutexLock lk(mu_);
+    while (n_ == 0) ready_.wait(lk);
+    return n_--;
+  }
+};
+
+}  // namespace cnd::serve

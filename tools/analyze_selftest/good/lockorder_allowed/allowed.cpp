@@ -1,0 +1,16 @@
+// cnd-analyze-path: src/core/allowed.cpp
+// One direction of an ABBA pair is vetted (only reachable before the worker
+// threads exist); the trailing allow drops that acquisition's edges.
+namespace cnd::core {
+
+void forward() {
+  runtime::MutexLock a(g_alpha_mutex);
+  runtime::MutexLock b(g_beta_mutex);
+}
+
+void startup_only() {
+  runtime::MutexLock b(g_beta_mutex);
+  runtime::MutexLock a(g_alpha_mutex);  // cnd-analyze: allow(lock-order)
+}
+
+}  // namespace cnd::core

@@ -1,0 +1,15 @@
+// cnd-analyze-path: src/core/ordered.cpp
+// Two paths acquire alpha before beta — edges exist, but no cycle.
+namespace cnd::core {
+
+void first_path() {
+  runtime::MutexLock a(g_alpha_mutex);
+  runtime::MutexLock b(g_beta_mutex);
+}
+
+void second_path() {
+  runtime::MutexLock a(g_alpha_mutex);
+  runtime::MutexLock b(g_beta_mutex);
+}
+
+}  // namespace cnd::core

@@ -1,0 +1,24 @@
+// cnd-analyze-path: src/core/scoped.cpp
+// Sibling scopes: each lock dies with its block, so the opposite textual
+// orders never overlap and no edge forms.
+namespace cnd::core {
+
+void siblings() {
+  {
+    runtime::MutexLock a(g_alpha_mutex);
+  }
+  {
+    runtime::MutexLock b(g_beta_mutex);
+  }
+}
+
+void reverse_siblings() {
+  {
+    runtime::MutexLock b(g_beta_mutex);
+  }
+  {
+    runtime::MutexLock a(g_alpha_mutex);
+  }
+}
+
+}  // namespace cnd::core

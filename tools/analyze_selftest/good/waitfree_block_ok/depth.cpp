@@ -1,0 +1,12 @@
+// cnd-analyze-path: src/serve/depth.cpp
+// The annotated barrier vouches for its bounded critical section; the
+// wait-free caller stays clean.
+namespace cnd::serve {
+
+// cnd-block-ok(bounded O(1) depth probe under an uncontended mutex)
+unsigned long depth_probe() {
+  runtime::MutexLock lk(g_depth_mutex);
+  return g_depth;
+}
+
+}  // namespace cnd::serve

@@ -1,0 +1,10 @@
+// cnd-analyze-path: src/serve/fast.cpp
+// Reaches a lock only through the cnd-block-ok barrier in depth.cpp.
+namespace cnd::serve {
+
+unsigned long depth_probe();
+
+// cnd-wait-free
+bool has_room() { return depth_probe() < 8; }
+
+}  // namespace cnd::serve

@@ -1,0 +1,10 @@
+// cnd-analyze-path: src/serve/probe.cpp
+// A wait-free root whose whole reachable set is pure arithmetic.
+namespace cnd::serve {
+
+double square(double x) { return x * x; }
+
+// cnd-wait-free
+double admit_score(double x) { return square(x) + 1.0; }
+
+}  // namespace cnd::serve

@@ -32,8 +32,11 @@
 #                   with mid-stream hot-swap adaptation; the per-flow score
 #                   dumps must be byte-identical — a batch's scores depend
 #                   only on its admission index, never on worker timing
-#                   (docs/SERVING.md). With TSAN_BUILD_DIR set the TSan
-#                   tree's 4-shard dump must match too.
+#                   (docs/SERVING.md) — and likewise at a fixed shard count
+#                   with a 1-lane vs 4-lane thread pool (CND_THREADS), the
+#                   orthogonal parallelism axis inside each shard. With
+#                   TSAN_BUILD_DIR set the TSan tree's 4-shard dump must
+#                   match too.
 #
 # Exit 0 when every comparison matches and the metrics JSONL is well-formed,
 # 1 otherwise.
@@ -255,6 +258,23 @@ if [ "${SERVING_SWEEP:-1}" = "1" ]; then
       echo "FAIL serving sweep ran without hot-swap adaptation rounds"
       status=1
     fi
+    # Thread-pool variation at a fixed shard count: each shard's score path
+    # runs the parallel runtime internally, so scores must also be
+    # byte-identical when the pool has 1 lane vs 4 (independent of the
+    # shard-count axis above).
+    for t in 1 4; do
+      mkdir -p "${WORK}/t${t}"
+      echo "== shards=2 CND_THREADS=${t} $(basename "${serving}") ${SERVING_ARGS[*]}"
+      (cd "${WORK}/t${t}" && CND_THREADS=${t} "${serving}" "${SERVING_ARGS[@]}" \
+          --shards=2 --dump-scores=scores.txt > stdout.log)
+      if diff -q "${WORK}/s1/scores.txt" "${WORK}/t${t}/scores.txt" > /dev/null; then
+        echo "OK   serving scores identical with a ${t}-lane thread pool"
+      else
+        echo "FAIL serving scores differ with a ${t}-lane thread pool"
+        diff "${WORK}/s1/scores.txt" "${WORK}/t${t}/scores.txt" | head -10 || true
+        status=1
+      fi
+    done
     if [ -n "${TSAN_BUILD_DIR:-}" ]; then
       TSAN_SERVING="${TSAN_BUILD_DIR}/bench/bench_serving"
       if [ ! -x "${TSAN_SERVING}" ]; then

@@ -19,6 +19,19 @@
 //   rng-confinement      std distributions, raw engine types, and raw
 //                        engine draws are errors outside src/tensor/rng.cpp
 //                        (the portable-stream home, DESIGN.md §4).
+//   wait-free            functions annotated `// cnd-wait-free` (the
+//                        admission path and the shard-worker score path)
+//                        must not transitively reach mutex acquisition,
+//                        condition-variable waits, I/O / sleeps, or the
+//                        hot-path alloc set, except through functions
+//                        annotated `// cnd-block-ok(<reason>)` (which also
+//                        waives a single site when placed on/above its line).
+//   lock-order           an approximate mutex-acquisition graph is built
+//                        from MutexLock/lock_guard construction sites (a
+//                        lock held when another is taken adds an edge,
+//                        including through followed calls); any cycle —
+//                        an ABBA inversion or a re-acquisition of a held
+//                        mutex — is a finding.
 //
 // Findings print as `file:line: rule: message`, one per line, to stdout.
 // A finding on a specific line can be waived with a trailing
@@ -77,7 +90,9 @@ struct Tok {
 /// Per-file annotation state, harvested from comments while lexing.
 struct Annotations {
   std::set<int> hot_lines;                       // `cnd-hot`
+  std::set<int> wait_free_lines;                 // `cnd-wait-free`
   std::map<int, std::string> alloc_ok_lines;     // `cnd-alloc-ok(reason)`
+  std::map<int, std::string> block_ok_lines;     // `cnd-block-ok(reason)`
   std::map<int, std::set<std::string>> allows;   // `cnd-analyze: allow(r)`
   std::string fixture_path;                      // `cnd-analyze-path: p`
   std::set<std::string> expects;                 // `cnd-analyze-expect: r`
@@ -133,8 +148,11 @@ std::string paren_payload(std::string_view s, std::size_t at) {
 void scan_comment(std::string_view text, int line, Annotations& ann) {
   std::size_t at = 0;
   if (has_marker(text, "cnd-hot")) ann.hot_lines.insert(line);
+  if (has_marker(text, "cnd-wait-free")) ann.wait_free_lines.insert(line);
   if (has_marker(text, "cnd-alloc-ok", &at))
     ann.alloc_ok_lines[line] = paren_payload(text, at);
+  if (has_marker(text, "cnd-block-ok", &at))
+    ann.block_ok_lines[line] = paren_payload(text, at);
   if ((at = text.find("cnd-analyze:")) != std::string_view::npos) {
     std::size_t allow_at = text.find("allow", at);
     if (allow_at != std::string_view::npos) {
@@ -286,16 +304,45 @@ struct AllocSite {
   int line = 0;
 };
 
+/// A site that can sleep the calling thread without taking a lock: a
+/// condition-variable wait, file I/O, or an explicit sleep. Lock
+/// acquisitions are carried by ConcEvent::kLock instead.
+struct BlockSite {
+  std::string what;
+  int line = 0;
+};
+
+/// One entry of a function's ordered concurrency-event stream, replayed by
+/// the lock-order check to know which mutexes are held at each point.
+struct ConcEvent {
+  enum Kind {
+    kLock,    // scoped-lock construction or manual `.lock()`
+    kUnlock,  // manual `.unlock()`
+    kClose,   // a `}` closed a block: scoped locks deeper than `depth` die
+    kCall     // def.calls[call] happened here
+  };
+  Kind kind = kLock;
+  std::string node;      // kLock/kUnlock: approximate mutex identity
+  int line = 0;
+  int depth = 0;         // brace depth at the site (kClose: depth after `}`)
+  std::size_t call = 0;  // kCall: index into FuncDef::calls
+};
+
 struct FuncDef {
   std::vector<std::string> qname;  // {"cnd","nn","Linear","forward_into"}
   std::string display;             // qname joined with "::"
   int file = -1;                   // index into Model::files
   int line = 0;
   bool hot = false;
+  bool wait_free = false;          // `// cnd-wait-free` root
   bool alloc_ok = false;
   std::string alloc_reason;
+  bool block_ok = false;           // `// cnd-block-ok(reason)` barrier
+  std::string block_reason;
   std::vector<CallSite> calls;
   std::vector<AllocSite> allocs;
+  std::vector<BlockSite> blocks;
+  std::vector<ConcEvent> events;
 };
 
 struct FileInfo {
@@ -503,6 +550,21 @@ class Parser {
       for (std::size_t k = class_kw + 1; k < head.size(); ++k) {
         const Tok& t = at(head[k]);
         if (t.text == ":" || t.text == "final") break;
+        // Thread-safety attribute macros (`class CND_CAPABILITY("mutex") M`)
+        // sit between the keyword and the class name; skip them — and any
+        // argument list they carry — so they neither name the scope nor
+        // truncate the scan at their `(`.
+        if (t.kind == Tk::Ident && t.text.rfind("CND_", 0) == 0) {
+          if (k + 1 < head.size() && at(head[k + 1]).text == "(") {
+            int pd = 0;
+            ++k;
+            for (; k < head.size(); ++k) {
+              if (at(head[k]).text == "(") ++pd;
+              if (at(head[k]).text == ")" && --pd == 0) break;
+            }
+          }
+          continue;
+        }
         if (t.kind == Tk::Ident && !is(head[k] + 1, "("))
           s.comps.push_back(t.text);
         if (t.text == "::") continue;
@@ -620,10 +682,16 @@ class Parser {
     const int h1 = at(i_).line;  // the `{`
     for (int ln = h0 - 1; ln <= h1; ++ln) {
       if (ann().hot_lines.count(ln)) def.hot = true;
+      if (ann().wait_free_lines.count(ln)) def.wait_free = true;
       auto it = ann().alloc_ok_lines.find(ln);
       if (it != ann().alloc_ok_lines.end()) {
         def.alloc_ok = true;
         def.alloc_reason = it->second;
+      }
+      auto bo = ann().block_ok_lines.find(ln);
+      if (bo != ann().block_ok_lines.end()) {
+        def.block_ok = true;
+        def.block_reason = bo->second;
       }
     }
 
@@ -646,17 +714,150 @@ class Parser {
     while (i_ < n_) {
       const Tok& t = at(i_);
       if (t.text == "{") ++depth;
-      if (t.text == "}" && --depth == 0) {
-        ++i_;
-        return;
+      if (t.text == "}") {
+        if (--depth == 0) {
+          ++i_;
+          return;
+        }
+        // A block closed: scoped locks declared inside it are released. Only
+        // functions that actually lock need the replay event.
+        if (!def.events.empty())
+          def.events.push_back(
+              {ConcEvent::kClose, std::string{}, t.line, depth, 0});
       }
-      if (t.kind == Tk::Ident) record_ident(def);
+      if (t.kind == Tk::Ident) record_ident(def, depth);
       ++i_;
     }
   }
 
-  void record_ident(FuncDef& def) {
+  /// Scoped-lock types whose construction acquires the mutex passed as the
+  /// first argument. The std names are matched so fixtures (and any future
+  /// backsliding) are seen too, even though first-party code goes through
+  /// MutexLock.
+  static const std::set<std::string>& scoped_lock_types() {
+    static const std::set<std::string> s = {"MutexLock", "lock_guard",
+                                            "unique_lock", "scoped_lock",
+                                            "shared_lock"};
+    return s;
+  }
+
+  static const std::set<std::string>& cv_wait_names() {
+    static const std::set<std::string> s = {"wait", "wait_for", "wait_until"};
+    return s;
+  }
+
+  /// Calls that sleep or do I/O — hostile to a wait-free contract even when
+  /// no lock is involved.
+  static const std::set<std::string>& io_call_names() {
+    static const std::set<std::string> s = {
+        "fopen",  "freopen", "fclose",  "fread",     "fwrite",   "fprintf",
+        "vfprintf", "fscanf", "fgets",  "fputs",     "fputc",    "fgetc",
+        "fflush", "printf",  "vprintf", "puts",      "getline",  "getchar",
+        "system", "popen",   "sleep",   "usleep",    "nanosleep", "sleep_for",
+        "sleep_until"};
+    return s;
+  }
+
+  static const std::set<std::string>& io_stream_types() {
+    static const std::set<std::string> s = {"ofstream", "ifstream", "fstream"};
+    return s;
+  }
+
+  /// Approximate identity of a mutex expression from its trailing identifier
+  /// chain (`mu_`, `r.mutex`, `g_config_mutex`). Members (trailing `_` by
+  /// style) are qualified with the enclosing class so `RingBuffer::mu_` and
+  /// `ThreadPool::mutex_` stay distinct across the whole tree; anything else
+  /// is kept verbatim. Instance-level aliasing is deliberately ignored — the
+  /// lock-order graph is class-granular.
+  static std::string mutex_node(const FuncDef& def,
+                                const std::vector<std::string>& chain) {
+    const std::string& t = chain.back();
+    if (!t.empty() && t.back() == '_' && def.qname.size() >= 2)
+      return def.qname[def.qname.size() - 2] + "::" + t;
+    return t;
+  }
+
+  void record_ident(FuncDef& def, int depth) {
     const Tok& t = at(i_);
+    // `MutexLock lk(mu_)` / `std::lock_guard<std::mutex> lk(mu)`: a scoped
+    // acquisition of the first constructor argument.
+    if (scoped_lock_types().count(t.text)) {
+      std::size_t k = i_ + 1;
+      if (is(k, "<")) {  // template argument list
+        int ad = 0;
+        for (; k < n_; ++k) {
+          if (at(k).text == "<") ++ad;
+          if (at(k).text == ">" && --ad == 0) {
+            ++k;
+            break;
+          }
+        }
+      }
+      if (k < n_ && at(k).kind == Tk::Ident && is(k + 1, "(")) {
+        // Trailing ident chain of the first argument only (defer_lock and
+        // friends come after a comma).
+        std::vector<std::string> chain;
+        int pd = 0;
+        for (std::size_t p = k + 1; p < n_; ++p) {
+          const Tok& a = at(p);
+          if (a.text == "(") {
+            ++pd;
+            continue;
+          }
+          if (a.text == ")") {
+            if (--pd == 0) break;
+            continue;
+          }
+          if (pd == 1 && a.text == ",") break;
+          if (a.kind == Tk::Ident)
+            chain.push_back(a.text);
+          else if (a.text != "::" && a.text != "." && a.text != "->")
+            chain.clear();
+        }
+        if (!chain.empty())
+          def.events.push_back({ConcEvent::kLock, mutex_node(def, chain),
+                                t.line, depth, 0});
+      }
+      return;
+    }
+    // Manual `x.lock()` / `x.unlock()`. Recorded as events, not calls: the
+    // wrapper bodies add nothing the event stream doesn't already say.
+    if ((t.text == "lock" || t.text == "unlock") && i_ >= 2 &&
+        (at(i_ - 1).text == "." || at(i_ - 1).text == "->") &&
+        is(i_ + 1, "(") && is(i_ + 2, ")")) {
+      std::vector<std::string> chain;
+      std::size_t p = i_ - 1;  // the `.` / `->`
+      while (p >= 1 && at(p - 1).kind == Tk::Ident) {
+        chain.insert(chain.begin(), at(p - 1).text);
+        if (p >= 3 && (at(p - 2).text == "." || at(p - 2).text == "->" ||
+                       at(p - 2).text == "::"))
+          p -= 2;
+        else
+          break;
+      }
+      if (!chain.empty())
+        def.events.push_back(
+            {t.text == "lock" ? ConcEvent::kLock : ConcEvent::kUnlock,
+             mutex_node(def, chain), t.line, depth, 0});
+      return;
+    }
+    // `cv.wait(lk)` and friends: the thread parks. Not recorded as a call —
+    // descending into the wrapper would double-report the same park.
+    if (cv_wait_names().count(t.text) && i_ >= 1 &&
+        (at(i_ - 1).text == "." || at(i_ - 1).text == "->") &&
+        is(i_ + 1, "(")) {
+      def.blocks.push_back(
+          {"condition-variable " + t.text + "()", t.line});
+      return;
+    }
+    if (io_call_names().count(t.text) && is(i_ + 1, "(")) {
+      def.blocks.push_back({"I/O or sleep call '" + t.text + "()'", t.line});
+      return;
+    }
+    if (io_stream_types().count(t.text)) {
+      def.blocks.push_back({"file stream '" + t.text + "'", t.line});
+      return;
+    }
     if (t.text == "new") {
       if (i_ == 0 || at(i_ - 1).text != "operator")
         def.allocs.push_back({"operator new", t.line});
@@ -694,6 +895,8 @@ class Parser {
         return;
     }
     call.grow = grow_methods().count(call.name.back()) > 0;
+    def.events.push_back(
+        {ConcEvent::kCall, std::string{}, t.line, depth, def.calls.size()});
     def.calls.push_back(std::move(call));
   }
 
@@ -804,6 +1007,203 @@ void check_hot_paths(const Model& m, std::vector<Finding>& out) {
         }
       }
     }
+  }
+}
+
+/// A site-level `// cnd-block-ok(reason)` waiver: on the site's line or the
+/// line above. (The same marker on a function header is a descent barrier —
+/// see check_wait_free.)
+bool site_block_ok(const Model& m, int file, int line) {
+  const auto& lines =
+      m.files[static_cast<std::size_t>(file)].ann.block_ok_lines;
+  return lines.count(line) > 0 || lines.count(line - 1) > 0;
+}
+
+/// Everything transitively reachable from a `// cnd-wait-free` root must be
+/// free of mutex acquisition, condition-variable waits, I/O / sleeps, and
+/// the hot-path alloc set. `// cnd-block-ok(reason)` on a function header
+/// vouches for that whole subtree (descent stops); on a site's line it
+/// waives just that site. A `// cnd-alloc-ok` function is vouched bounded
+/// work off the steady-state path, so the walk stops there exactly as the
+/// hot-path walk does — block-ok exists for the cases where only the
+/// blocking contract, not the alloc contract, is being vouched.
+void check_wait_free(const Model& m, std::vector<Finding>& out) {
+  const std::string rule = "wait-free";
+  std::set<std::pair<std::string, int>> reported;
+  for (std::size_t root = 0; root < m.defs.size(); ++root) {
+    if (!m.defs[root].wait_free) continue;
+    std::vector<std::size_t> stack = {root};
+    std::set<std::size_t> visited = {root};
+    while (!stack.empty()) {
+      const std::size_t cur = stack.back();
+      stack.pop_back();
+      const FuncDef& d = m.defs[cur];
+      auto flag = [&](int line, const std::string& what) {
+        if (site_block_ok(m, d.file, line)) return;
+        if (line_allowed(m, d.file, line, rule)) return;
+        if (!reported.insert({vpath_of(m, d.file), line}).second) return;
+        out.push_back({vpath_of(m, d.file), line, rule,
+                       "'" + d.display + "' (reachable from wait-free '" +
+                           m.defs[root].display + "') " + what});
+      };
+      for (const ConcEvent& e : d.events)
+        if (e.kind == ConcEvent::kLock)
+          flag(e.line, "acquires mutex '" + e.node + "'");
+      for (const BlockSite& b : d.blocks) flag(b.line, "may block: " + b.what);
+      for (const AllocSite& a : d.allocs) flag(a.line, "allocates: " + a.what);
+      for (const CallSite& c : d.calls) {
+        const auto cands = m.candidates(c);
+        if (c.grow && cands.empty()) {
+          std::string name;
+          for (std::size_t q = 0; q < c.name.size(); ++q)
+            name += (q ? "::" : "") + c.name[q];
+          flag(c.line, "calls growing container method '" + name + "()'");
+          continue;
+        }
+        for (std::size_t cand : cands) {
+          if (m.defs[cand].block_ok || m.defs[cand].alloc_ok)
+            continue;  // vouched barrier
+          if (visited.insert(cand).second) stack.push_back(cand);
+        }
+      }
+    }
+  }
+}
+
+/// Follow a call edge when propagating lock acquisitions? Single-name member
+/// calls are excluded outright — `slots_.size()` would suffix-match an
+/// unrelated first-party `size()` and fabricate edges — and ambiguous
+/// single-name free calls likewise.
+bool follow_for_locks(const CallSite& c,
+                      const std::vector<std::size_t>& cands) {
+  if (cands.empty()) return false;
+  if (c.member && c.name.size() < 2) return false;
+  if (c.name.size() < 2 && cands.size() > 1) return false;
+  return true;
+}
+
+struct LockOrderCtx {
+  const Model& m;
+  std::vector<int> state;  // 0 = unvisited, 1 = in progress / done
+  std::vector<std::set<std::string>> acq;
+};
+
+/// Memoized transitive acquire set of defs[f]. Call-graph cycles return the
+/// partial in-progress set — an under-approximation that terminates.
+const std::set<std::string>& trans_acquires(LockOrderCtx& ctx,
+                                            std::size_t f) {
+  if (ctx.state[f] != 0) return ctx.acq[f];
+  ctx.state[f] = 1;
+  const FuncDef& d = ctx.m.defs[f];
+  for (const ConcEvent& e : d.events)
+    if (e.kind == ConcEvent::kLock) ctx.acq[f].insert(e.node);
+  for (const CallSite& c : d.calls) {
+    const auto cands = ctx.m.candidates(c);
+    if (!follow_for_locks(c, cands)) continue;
+    for (std::size_t cand : cands) {
+      if (cand == f) continue;
+      const std::set<std::string>& sub = trans_acquires(ctx, cand);
+      ctx.acq[f].insert(sub.begin(), sub.end());
+    }
+  }
+  return ctx.acq[f];
+}
+
+/// Replay each function's event stream to learn which mutexes are held when
+/// another is acquired (directly, or transitively through a followed call).
+/// Every held→acquired pair is an edge; a cycle in the resulting graph is an
+/// ABBA inversion (or a self-deadlock when both ends are the same mutex).
+/// `// cnd-analyze: allow(lock-order)` on an acquisition site drops that
+/// site's edges.
+void check_lock_order(const Model& m, std::vector<Finding>& out) {
+  const std::string rule = "lock-order";
+  LockOrderCtx ctx{m, std::vector<int>(m.defs.size(), 0),
+                   std::vector<std::set<std::string>>(m.defs.size())};
+
+  struct EdgeSite {
+    std::string file;
+    int line = 0;
+    std::string caller;
+  };
+  std::map<std::pair<std::string, std::string>, EdgeSite> edges;
+
+  for (const FuncDef& d : m.defs) {
+    std::vector<std::pair<std::string, int>> active;  // (node, depth)
+    for (const ConcEvent& e : d.events) {
+      switch (e.kind) {
+        case ConcEvent::kClose:
+          while (!active.empty() && active.back().second > e.depth)
+            active.pop_back();
+          break;
+        case ConcEvent::kUnlock:
+          for (auto it = active.rbegin(); it != active.rend(); ++it)
+            if (it->first == e.node) {
+              active.erase(std::next(it).base());
+              break;
+            }
+          break;
+        case ConcEvent::kLock:
+          if (!line_allowed(m, d.file, e.line, rule))
+            for (const auto& held : active)
+              edges.emplace(std::make_pair(held.first, e.node),
+                            EdgeSite{vpath_of(m, d.file), e.line, d.display});
+          active.push_back({e.node, e.depth});
+          break;
+        case ConcEvent::kCall: {
+          if (active.empty()) break;
+          if (line_allowed(m, d.file, e.line, rule)) break;
+          const CallSite& c = d.calls[e.call];
+          const auto cands = m.candidates(c);
+          if (!follow_for_locks(c, cands)) break;
+          std::set<std::string> acquired;
+          for (std::size_t cand : cands) {
+            const std::set<std::string>& sub = trans_acquires(ctx, cand);
+            acquired.insert(sub.begin(), sub.end());
+          }
+          for (const auto& held : active)
+            for (const std::string& node : acquired)
+              edges.emplace(std::make_pair(held.first, node),
+                            EdgeSite{vpath_of(m, d.file), c.line, d.display});
+          break;
+        }
+      }
+    }
+  }
+
+  // Adjacency + a BFS cycle probe per edge; the graph has one node per
+  // distinct mutex, so this stays tiny.
+  std::map<std::string, std::set<std::string>> adj;
+  for (const auto& [key, site] : edges) adj[key.first].insert(key.second);
+  for (const auto& [key, site] : edges) {
+    const std::string& from = key.first;
+    const std::string& to = key.second;
+    bool cyclic = from == to;
+    if (!cyclic) {
+      std::set<std::string> seen = {to};
+      std::vector<std::string> stack = {to};
+      while (!stack.empty()) {
+        const std::string n = stack.back();
+        stack.pop_back();
+        if (n == from) {
+          cyclic = true;
+          break;
+        }
+        auto it = adj.find(n);
+        if (it == adj.end()) continue;
+        for (const std::string& nxt : it->second)
+          if (seen.insert(nxt).second) stack.push_back(nxt);
+      }
+    }
+    if (!cyclic) continue;
+    const std::string msg =
+        from == to
+            ? "'" + site.caller + "' acquires '" + to +
+                  "' while already holding it (self-deadlock)"
+            : "'" + site.caller + "' acquires '" + to + "' while holding '" +
+                  from +
+                  "', and the reverse order exists elsewhere — lock-order "
+                  "cycle (ABBA deadlock risk)";
+    out.push_back({site.file, site.line, rule, msg});
   }
 }
 
@@ -922,6 +1322,8 @@ std::vector<Finding> run_checks(Model& m) {
   m.index();
   std::vector<Finding> findings;
   check_hot_paths(m, findings);
+  check_wait_free(m, findings);
+  check_lock_order(m, findings);
   check_layering(m, findings);
   check_rng_confinement(m, findings);
   std::sort(findings.begin(), findings.end());
@@ -1017,14 +1419,22 @@ int run_tree(const fs::path& compile_commands, const fs::path& root,
 
   const std::vector<Finding> findings = run_checks(m);
 
-  std::size_t hot = 0, barriers = 0;
+  std::size_t hot = 0, barriers = 0, wait_free = 0, block_barriers = 0;
   for (const FuncDef& d : m.defs) {
     hot += d.hot ? 1 : 0;
     barriers += d.alloc_ok ? 1 : 0;
+    wait_free += d.wait_free ? 1 : 0;
+    block_barriers += d.block_ok ? 1 : 0;
   }
   if (hot == 0) {
     std::fprintf(stderr,
                  "cnd_analyze: no `cnd-hot` roots found — annotations "
+                 "missing or parser regression\n");
+    return 2;
+  }
+  if (wait_free == 0) {
+    std::fprintf(stderr,
+                 "cnd_analyze: no `cnd-wait-free` roots found — annotations "
                  "missing or parser regression\n");
     return 2;
   }
@@ -1033,17 +1443,26 @@ int run_tree(const fs::path& compile_commands, const fs::path& root,
       if (d.hot)
         std::printf("hot       %s (%s:%d)\n", d.display.c_str(),
                     vpath_of(m, d.file).c_str(), d.line);
+      if (d.wait_free)
+        std::printf("wait-free %s (%s:%d)\n", d.display.c_str(),
+                    vpath_of(m, d.file).c_str(), d.line);
       if (d.alloc_ok)
         std::printf("alloc-ok  %s (%s:%d) — %s\n", d.display.c_str(),
                     vpath_of(m, d.file).c_str(), d.line,
                     d.alloc_reason.c_str());
+      if (d.block_ok)
+        std::printf("block-ok  %s (%s:%d) — %s\n", d.display.c_str(),
+                    vpath_of(m, d.file).c_str(), d.line,
+                    d.block_reason.c_str());
     }
   }
   print_findings(findings);
   std::fprintf(stderr,
                "cnd_analyze: %zu files, %zu functions, %zu hot roots, %zu "
-               "alloc-ok barriers, %zu findings\n",
-               m.files.size(), m.defs.size(), hot, barriers, findings.size());
+               "alloc-ok barriers, %zu wait-free roots, %zu block-ok "
+               "barriers, %zu findings\n",
+               m.files.size(), m.defs.size(), hot, barriers, wait_free,
+               block_barriers, findings.size());
   return findings.empty() ? 0 : 1;
 }
 

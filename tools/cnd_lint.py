@@ -31,6 +31,13 @@ machine-checked:
                     reduction reorders rounding differently per platform.
   no-banned-fn      sprintf/strcpy/atoi-family: unbounded or silently
                     truncating C calls with safer repo idioms.
+  no-naked-mutex    Raw std::mutex / std::lock_guard / std::condition_variable
+                    outside runtime/annotated_mutex.hpp. All locking goes
+                    through the Clang-thread-safety-annotated AnnotatedMutex /
+                    MutexLock / CondVar wrappers so -Wthread-safety (and
+                    cnd_analyze's lock-order and wait-free rules) can see it;
+                    a naked primitive is invisible to every one of those
+                    checkers.
   include-hygiene   No "../" includes, no <bits/...>, first-party headers
                     included with quotes ("layer/header.hpp"), not <>.
   layering          src/<layer> files include only from layers at or below
@@ -67,6 +74,7 @@ RULES = {
     "no-unordered-iter": "iteration over an unordered container (unspecified order)",
     "no-float": "float arithmetic in a bit-exactness layer (use double)",
     "no-banned-fn": "banned C function (unbounded/truncating)",
+    "no-naked-mutex": "raw std lock primitive outside the annotated wrappers",
     "include-hygiene": "non-canonical #include form",
     "layering": "include crosses the layer dependency order upward",
     "registry-coverage": "check_determinism.sh misses a registered detector",
@@ -103,6 +111,16 @@ LAYERING_EXTRA = {
     "src/core/detector_factory.hpp": {"baselines"},
 }
 
+# Concurrency-contract headers that sit BELOW the layer DAG: dependency-free
+# (standard library only), includable from any layer. src/obs — the bottom
+# layer — guards its registries with the annotated wrappers, so these two
+# cannot live inside the ordinary layer order. Keep this list to headers with
+# zero first-party includes beyond each other.
+LAYER_NEUTRAL_INCLUDES = {
+    "tensor/thread_annotations.hpp",
+    "runtime/annotated_mutex.hpp",
+}
+
 # Files where float arithmetic violates the bit-exactness contract.
 FLOAT_BANNED_PREFIXES = ("src/tensor/", "src/linalg/", "src/nn/", "src/runtime/")
 
@@ -111,6 +129,9 @@ RAW_RNG_ALLOWED = ("src/tensor/rng.hpp", "src/tensor/rng.cpp")
 
 # The only directory that may read clocks without an explicit allow.
 CLOCK_ALLOWED_PREFIXES = ("src/obs/",)
+
+# The annotated wrappers' own storage: the one place raw lock primitives live.
+NAKED_MUTEX_ALLOWED = ("src/runtime/annotated_mutex.hpp",)
 
 RE_RAW_RNG = re.compile(
     r"std\s*::\s*rand\b|\bsrand\s*\(|\brandom_device\b|std\s*::\s*(mt19937|minstd_rand|ranlux)"
@@ -131,6 +152,11 @@ RE_RANGE_FOR = re.compile(r"\bfor\s*\([^;()]*?(?<!:):(?!:)\s*([^)]+)\)")
 RE_FLOAT = re.compile(r"\bfloat\b")
 RE_BANNED_FN = re.compile(
     r"\b(sprintf|vsprintf|strcpy|strcat|gets|tmpnam|atoi|atol|atof|asctime|ctime)\s*\("
+)
+RE_NAKED_MUTEX = re.compile(
+    r"std\s*::\s*(timed_mutex|recursive_mutex|shared_mutex|shared_timed_mutex|"
+    r"mutex|lock_guard|unique_lock|shared_lock|scoped_lock|"
+    r"condition_variable_any|condition_variable)\b"
 )
 RE_INCLUDE = re.compile(r'^\s*#\s*include\s+(<[^>]+>|"[^"]+")')
 RE_ALLOW = re.compile(r"cnd-lint:\s*allow\(([^)]*)\)")
@@ -248,6 +274,7 @@ def lint_file(vpath: str, text: str) -> list[Finding]:
     raw_rng_exempt = vpath in RAW_RNG_ALLOWED
     clock_exempt = vpath.startswith(CLOCK_ALLOWED_PREFIXES)
     float_banned = vpath.startswith(FLOAT_BANNED_PREFIXES)
+    naked_mutex_exempt = vpath in NAKED_MUTEX_ALLOWED
 
     for idx, line in enumerate(code):
         if not raw_rng_exempt and RE_RAW_RNG.search(line):
@@ -269,6 +296,15 @@ def lint_file(vpath: str, text: str) -> list[Finding]:
             fn = RE_BANNED_FN.search(line).group(1)
             report(idx, "no-banned-fn", f"'{fn}' is banned; use the bounded/"
                    "checked alternative (snprintf, strtol/stod, std::string)")
+
+        if not naked_mutex_exempt:
+            mm = RE_NAKED_MUTEX.search(line)
+            if mm:
+                report(idx, "no-naked-mutex",
+                       f"raw std::{mm.group(1)}; lock through runtime::"
+                       "AnnotatedMutex / MutexLock / CondVar "
+                       "(runtime/annotated_mutex.hpp) so the thread-safety "
+                       "and cnd_analyze concurrency checks can see it")
 
         if float_banned and RE_FLOAT.search(line):
             report(idx, "no-float",
@@ -300,7 +336,8 @@ def lint_file(vpath: str, text: str) -> list[Finding]:
             if tok.startswith("<") and first_party:
                 report(idx, "include-hygiene",
                        f"first-party header <{target}> must use quotes")
-            if tok.startswith('"') and allowed_layers is not None:
+            if (tok.startswith('"') and allowed_layers is not None
+                    and target not in LAYER_NEUTRAL_INCLUDES):
                 inc_layer = layer_of("src/" + target)
                 if inc_layer is not None and inc_layer not in allowed_layers:
                     report(idx, "layering",
