@@ -42,6 +42,11 @@ struct BenchOptions {
   /// stream are wall-clock and machine-dependent — result CSVs stay
   /// bit-identical with or without it (docs/OBSERVABILITY.md).
   std::string metrics_out;
+  /// IVF probe count for the neighbor-driven detectors (docs/ANN.md);
+  /// 0 = exact brute force, the default. Applied to a DetectorConfig via
+  /// apply_ann_nprobe below. Flag form `--ann-nprobe=N` rejects N = 0 —
+  /// exact mode is the absence of the flag, not a magic value.
+  std::size_t ann_nprobe = 0;
 };
 
 namespace detail {
@@ -159,6 +164,12 @@ inline BenchOptions parse_options(int argc, char** argv) {
         throw std::invalid_argument("bench: --metrics-out needs a path");
       o.metrics_out = argv[++i];
     }
+    if (a.rfind("--ann-nprobe=", 0) == 0) {
+      o.ann_nprobe = static_cast<std::size_t>(detail::parse_uint_flag(a, 13));
+      if (o.ann_nprobe == 0)
+        throw std::invalid_argument(
+            "bench: --ann-nprobe must be >= 1 (omit the flag for exact mode)");
+    }
     if (a == "--verbose") o.verbose = true;
   }
   if (o.threads > 0) runtime::set_threads(o.threads);
@@ -180,7 +191,8 @@ inline void strip_harness_flags(int& argc, char** argv) {
     }
     const bool ours = a.rfind("--scale=", 0) == 0 || a.rfind("--seed=", 0) == 0 ||
                       a.rfind("--threads=", 0) == 0 ||
-                      a.rfind("--metrics-out=", 0) == 0 || a == "--verbose";
+                      a.rfind("--metrics-out=", 0) == 0 ||
+                      a.rfind("--ann-nprobe=", 0) == 0 || a == "--verbose";
     if (!ours) argv[out++] = argv[i];
   }
   argc = out;
@@ -274,13 +286,29 @@ inline core::DetectorConfig paper_detector_config(std::uint64_t seed) {
   return c;
 }
 
+/// Route every neighbor-driven detector path through the IVF index with the
+/// given probe count (docs/ANN.md): LOF and kNN reference-set queries, and
+/// the CND-IDS / Adaptive pseudo-label K-Means predict passes (`cnd` is
+/// shared by both). nprobe = 0 is a no-op — the configs default to exact.
+/// Detectors without a neighbor path (PCA, DIF, GMM, ...) are unaffected.
+inline void apply_ann_nprobe(core::DetectorConfig& c, std::size_t nprobe) {
+  c.lof.ann.nprobe = nprobe;
+  c.knn.ann.nprobe = nprobe;
+  c.cnd.cfe.ann.nprobe = nprobe;
+}
+
 /// Build registry detector `name` under the paper config and drive it
-/// through the evaluation protocol.
+/// through the evaluation protocol. `ann_nprobe` > 0 (the parsed
+/// --ann-nprobe flag) routes the neighbor-search detectors through the
+/// IVF index (docs/ANN.md); 0 keeps the exact default.
 inline core::RunResult run_detector(const std::string& name,
                                     const data::ExperienceSet& es,
                                     std::uint64_t seed,
-                                    const core::RunConfig& rc = {}) {
-  return core::run_detector(name, paper_detector_config(seed), es, rc);
+                                    const core::RunConfig& rc = {},
+                                    std::size_t ann_nprobe = 0) {
+  core::DetectorConfig cfg = paper_detector_config(seed);
+  if (ann_nprobe > 0) apply_ann_nprobe(cfg, ann_nprobe);
+  return core::run_detector(name, cfg, es, rc);
 }
 
 /// Pretty row printer shared by the benches.

@@ -16,6 +16,7 @@
 #include "bench_common.hpp"
 #include "linalg/distance.hpp"
 #include "linalg/eigen.hpp"
+#include "linalg/ivf_index.hpp"
 #include "ml/kmeans.hpp"
 #include "ml/pca.hpp"
 #include "nn/autoencoder.hpp"
@@ -82,6 +83,37 @@ void BM_PairwiseDist(benchmark::State& state) {
   set_gflops(state, 2048, 1024, 48);
 }
 BENCHMARK(BM_PairwiseDist)->Unit(benchmark::kMillisecond);
+
+// Repeated-query kNN, the LOF/kNN-detector scoring shape: the bare
+// linalg::knn recomputes the reference row norms on every call, the
+// NeighborProvider caches them at bind() time. The pair quantifies what the
+// cache is worth per score call (docs/ANN.md).
+void BM_KnnBrute(benchmark::State& state) {
+  Matrix ref = random_matrix(4096, 32, 20);
+  Matrix q = random_matrix(512, 32, 21);
+  for (auto _ : state) benchmark::DoNotOptimize(linalg::knn(q, ref, 10, false));
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_KnnBrute)->Unit(benchmark::kMillisecond);
+
+void BM_KnnProviderCachedNorms(benchmark::State& state) {
+  linalg::NeighborProvider nn;
+  nn.bind(random_matrix(4096, 32, 20));  // exact mode, norms cached once
+  Matrix q = random_matrix(512, 32, 21);
+  for (auto _ : state) benchmark::DoNotOptimize(nn.knn(q, 10, false));
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_KnnProviderCachedNorms)->Unit(benchmark::kMillisecond);
+
+void BM_KnnIvf(benchmark::State& state) {
+  const auto nprobe = static_cast<std::size_t>(state.range(0));
+  linalg::NeighborProvider nn;
+  nn.bind(random_matrix(4096, 32, 20), {.nprobe = nprobe});
+  Matrix q = random_matrix(512, 32, 21);
+  for (auto _ : state) benchmark::DoNotOptimize(nn.knn(q, 10, false));
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_KnnIvf)->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
 void BM_JacobiEigen(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -173,6 +205,19 @@ int dump_kernels(const std::string& path) {
     for (std::size_t j = 0; j < 5; ++j) {
       std::fprintf(f, "knn,%zu,%zu\n", line++, nn.indices[i][j]);
       std::fprintf(f, "knn,%zu,%.17g\n", line++, nn.distances[i][j]);
+    }
+
+  // IVF probe path (docs/ANN.md): approximate mode on a fixed seed. The
+  // result is approximate with respect to brute force but must still be
+  // byte-identical across thread counts and sanitizer builds — build and
+  // search are value-deterministic by contract.
+  linalg::NeighborProvider prov;
+  prov.bind(random_matrix(640, 9, 18), {.nprobe = 3, .clusters = 16});
+  const auto ann = prov.knn(random_matrix(64, 9, 19), 5, /*exclude_self=*/false);
+  for (std::size_t i = 0; i < ann.indices.size(); ++i)
+    for (std::size_t j = 0; j < 5; ++j) {
+      std::fprintf(f, "ivf_knn,%zu,%zu\n", line++, ann.indices[i][j]);
+      std::fprintf(f, "ivf_knn,%zu,%.17g\n", line++, ann.distances[i][j]);
     }
 
   std::fclose(f);

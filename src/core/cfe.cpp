@@ -48,7 +48,7 @@ CfeFitStats Cfe::fit_experience(const Matrix& x_train, const Matrix& n_clean) {
     // Covers k-means and the elbow sweep when kmeans_k == 0.
     obs::ScopedTimer timer(obs::metrics(), "cnd.pseudo_label_ms");
     PseudoLabels pl =
-        cluster_separation_labels(x_train, n_clean, cfg_.kmeans_k, rng_);
+        cluster_separation_labels(x_train, n_clean, cfg_.kmeans_k, rng_, cfg_.ann);
     pseudo = std::move(pl.labels);
     stats.pseudo_k = pl.k;
     stats.pseudo_anomalous = pl.n_anomalous;

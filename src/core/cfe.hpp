@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "data/replay_buffer.hpp"
+#include "linalg/distance.hpp"
 #include "nn/autoencoder.hpp"
 #include "nn/optimizer.hpp"
 #include "tensor/rng.hpp"
@@ -42,6 +43,9 @@ struct CfeConfig {
   double lr = 1e-3;              ///< paper: Adam, 0.001.
   std::size_t triplets_per_batch = 64;
   std::size_t kmeans_k = 0;      ///< 0 = elbow method (paper's choice).
+  /// Approximate-neighbor knob for the pseudo-label K-Means predict passes
+  /// (docs/ANN.md). Default (nprobe = 0) is exact — byte-identical scores.
+  linalg::AnnConfig ann{};
   // Ablation switches (Table III).
   bool use_cs = true;
   bool use_r = true;

@@ -50,6 +50,7 @@ void CndIdsConfig::validate() const {
           "CndIdsConfig: cfe.ewc_decay out of [0,1]");
   require(pca.explained_variance > 0.0 && pca.explained_variance <= 1.0,
           "CndIdsConfig: pca.explained_variance out of (0,1]");
+  cfe.ann.validate();
 }
 
 CndIds::CndIds(const CndIdsConfig& cfg)

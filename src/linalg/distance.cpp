@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <utility>
 
+#include "linalg/ivf_index.hpp"
 #include "runtime/parallel_for.hpp"
 #include "tensor/assert.hpp"
 #include "tensor/check.hpp"
@@ -23,18 +25,21 @@ namespace {
 // not depend on the block boundaries, so this is a pure footprint knob.
 constexpr std::size_t kQueryBlock = 64;
 
-}  // namespace
+// Rows of x per Gram block in the fused nearest-centroid pass; bounds the
+// per-chunk d² scratch to kRowBlock x k regardless of dataset size.
+constexpr std::size_t kRowBlock = 256;
 
+// Shared core of pairwise_sq_dist_into and the NeighborProvider variant:
+// `nb` must already hold row_sq_norms(b) (cached or fresh — same bits either
+// way, it is the same function on the same input).
 // cnd-hot
-void pairwise_sq_dist_into(Matrix& d2, const Matrix& a, const Matrix& b,
-                           Workspace& ws) {
+void pairwise_sq_dist_impl(Matrix& d2, const Matrix& a, const Matrix& b,
+                           const std::vector<double>& nb, Workspace& ws) {
   require(a.cols() == b.cols(), "pairwise_sq_dist: feature mismatch");
   CND_DCHECK_ALL_FINITE(a, "pairwise_sq_dist: lhs has non-finite elements");
   CND_DCHECK_ALL_FINITE(b, "pairwise_sq_dist: rhs has non-finite elements");
   auto& na = ws.vec(0, a.rows());
-  auto& nb = ws.vec(1, b.rows());
   row_sq_norms(a, 0, a.rows(), na);
-  row_sq_norms(b, 0, b.rows(), nb);
   // The output doubles as the Gram buffer: G = a·bᵀ lands in d2, then the
   // norms fold in element-wise. max(0, ·) clamps the cancellation when two
   // rows are (nearly) identical.
@@ -49,21 +54,13 @@ void pairwise_sq_dist_into(Matrix& d2, const Matrix& a, const Matrix& b,
   });
 }
 
+// Shared core of knn and the NeighborProvider's exact path: `nref` must
+// already hold row_sq_norms(ref). The provider caches it across calls — the
+// bits are identical to a fresh computation, so so are the results.
 // cnd-hot
-Matrix pairwise_dist(const Matrix& a, const Matrix& b) {
-  Workspace ws;
-  Matrix d;
-  pairwise_sq_dist_into(d, a, b, ws);
-  runtime::parallel_for(0, d.rows(), runtime::grain_for_cost(d.cols() * 8),
-                        [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i)
-      for (double& v : d.row(i)) v = std::sqrt(v);
-  });
-  return d;
-}
-
-// cnd-hot
-Knn knn(const Matrix& query, const Matrix& ref, std::size_t k, bool exclude_self) {
+void knn_impl(Knn& out, const Matrix& query, const Matrix& ref,
+              const std::vector<double>& nref, std::size_t k,
+              bool exclude_self) {
   require(query.cols() == ref.cols(), "knn: feature mismatch");
   require(k > 0, "knn: k must be > 0");
   // NaN distances have no place in an ordering; catch them before they
@@ -75,10 +72,6 @@ Knn knn(const Matrix& query, const Matrix& ref, std::size_t k, bool exclude_self
   const std::size_t avail = ref.rows() - (exclude_self ? 1 : 0);
   require(k <= avail, "knn: k larger than reference set");
 
-  std::vector<double> nref;
-  row_sq_norms(ref, 0, ref.rows(), nref);
-
-  Knn out;
   out.indices.resize(query.rows());
   out.distances.resize(query.rows());
 
@@ -129,7 +122,123 @@ Knn knn(const Matrix& query, const Matrix& ref, std::size_t k, bool exclude_self
       }
     }
   });
+}
+
+}  // namespace
+
+// cnd-hot
+void pairwise_sq_dist_into(Matrix& d2, const Matrix& a, const Matrix& b,
+                           Workspace& ws) {
+  auto& nb = ws.vec(1, b.rows());
+  row_sq_norms(b, 0, b.rows(), nb);
+  pairwise_sq_dist_impl(d2, a, b, nb, ws);
+}
+
+// cnd-hot
+Matrix pairwise_dist(const Matrix& a, const Matrix& b) {
+  Workspace ws;
+  Matrix d;
+  pairwise_sq_dist_into(d, a, b, ws);
+  runtime::parallel_for(0, d.rows(), runtime::grain_for_cost(d.cols() * 8),
+                        [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i)
+      for (double& v : d.row(i)) v = std::sqrt(v);
+  });
+  return d;
+}
+
+// cnd-hot
+Knn knn(const Matrix& query, const Matrix& ref, std::size_t k, bool exclude_self) {
+  std::vector<double> nref;
+  row_sq_norms(ref, 0, ref.rows(), nref);
+  Knn out;
+  knn_impl(out, query, ref, nref, k, exclude_self);
   return out;
+}
+
+// cnd-hot
+void nearest_centroid(const Matrix& x, const Matrix& cen,
+                      std::vector<std::size_t>* assign,
+                      std::vector<double>* d2_out) {
+  std::vector<double> ncen;
+  row_sq_norms(cen, 0, cen.rows(), ncen);
+  runtime::parallel_for(0, x.rows(),
+                        runtime::grain_for_cost(cen.rows() * x.cols()),
+                        [&](std::size_t lo, std::size_t hi) {
+    Workspace ws;
+    std::vector<double> nx;
+    for (std::size_t b0 = lo; b0 < hi; b0 += kRowBlock) {
+      const std::size_t b1 = std::min(hi, b0 + kRowBlock);
+      Matrix& g = ws.mat(0, b1 - b0, cen.rows());
+      matmul_bt_rows_into(g, x, b0, b1, cen);
+      row_sq_norms(x, b0, b1, nx);
+      for (std::size_t i = b0; i < b1; ++i) {
+        auto gr = g.row(i - b0);
+        std::size_t best = 0;
+        double bd = std::numeric_limits<double>::infinity();
+        for (std::size_t c = 0; c < cen.rows(); ++c) {
+          const double d2 = std::max(0.0, nx[i - b0] + ncen[c] - 2.0 * gr[c]);
+          if (d2 < bd) {
+            bd = d2;
+            best = c;
+          }
+        }
+        if (assign) (*assign)[i] = best;
+        if (d2_out) (*d2_out)[i] = bd;
+      }
+    }
+  });
+}
+
+// ---- AnnConfig / NeighborProvider ------------------------------------------
+
+void AnnConfig::validate() const {
+  if (nprobe == 0) return;  // exact mode: the other knobs are inert.
+  require(build_iters > 0, "AnnConfig: build_iters must be > 0");
+}
+
+// cnd-alloc-ok(bind is the train-time rebind — reference set, norms, and
+// index are rebuilt once per experience, never on a scoring path)
+void NeighborProvider::bind(Matrix ref, const AnnConfig& cfg) {
+  require(!ref.empty(), "NeighborProvider: empty reference set");
+  cfg.validate();
+  ref_ = std::move(ref);
+  cfg_ = cfg;
+  row_sq_norms(ref_, 0, ref_.rows(), ref_norms_);
+  if (cfg_.nprobe > 0) {
+    auto ix = std::make_shared<IvfIndex>();
+    ix->build_from(ref_, cfg_);
+    index_ = std::move(ix);
+  } else {
+    index_.reset();
+  }
+}
+
+void NeighborProvider::unbind() {
+  ref_ = Matrix();
+  cfg_ = AnnConfig{};
+  ref_norms_.clear();
+  index_.reset();
+}
+
+Knn NeighborProvider::knn(const Matrix& query, std::size_t k,
+                          bool exclude_self) const {
+  require(ready(), "NeighborProvider::knn: no reference set bound");
+  require(!exclude_self || &query == &ref_,
+          "NeighborProvider::knn: exclude_self requires querying ref() itself");
+  Knn out;
+  if (exact()) {
+    knn_impl(out, query, ref_, ref_norms_, k, exclude_self);
+  } else {
+    index_->search(query, ref_, ref_norms_, k, cfg_.nprobe, exclude_self, out);
+  }
+  return out;
+}
+
+void NeighborProvider::pairwise_sq_dist(Matrix& d2, const Matrix& a,
+                                        Workspace& ws) const {
+  require(ready(), "NeighborProvider::pairwise_sq_dist: no reference set bound");
+  pairwise_sq_dist_impl(d2, a, ref_, ref_norms_, ws);
 }
 
 }  // namespace cnd::linalg

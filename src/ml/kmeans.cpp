@@ -4,64 +4,14 @@
 #include <cmath>
 #include <limits>
 
-#include "runtime/parallel_for.hpp"
 #include "tensor/assert.hpp"
-#include "tensor/kernels.hpp"
 
 namespace cnd::ml {
 
-// Norms come from kernels::row_sq_norms — same translation unit (and hence
-// FP-contraction pattern) as the Gram kernel, so a point sitting exactly on
-// a centroid gets a fused distance of exactly 0.0 (see kernels.hpp).
-using kernels::row_sq_norms;
-
-namespace {
-
-// Rows of x per Gram block in the fused nearest-centroid pass; bounds the
-// per-chunk d² scratch to kRowBlock x k regardless of dataset size.
-constexpr std::size_t kRowBlock = 256;
-
-// Fused nearest-centroid pass: blocked Gram product of x row slices against
-// the centroid matrix, d² = ||x||² + ||c||² − 2·x·c clamped at 0, argmin
-// scanning centroids in ascending index with strict < (ties go to the
-// smallest index, matching a scalar linear scan). Fills assign[i] and/or
-// d2_out[i] when non-null. Deterministic at any thread count: each (i, c)
-// value is independent of chunk and block boundaries.
-// cnd-hot
-void assign_nearest(const Matrix& x, const Matrix& cen,
-                    std::vector<std::size_t>* assign,
-                    std::vector<double>* d2_out) {
-  std::vector<double> ncen;
-  row_sq_norms(cen, 0, cen.rows(), ncen);
-  runtime::parallel_for(0, x.rows(),
-                        runtime::grain_for_cost(cen.rows() * x.cols()),
-                        [&](std::size_t lo, std::size_t hi) {
-    Workspace ws;
-    std::vector<double> nx;
-    for (std::size_t b0 = lo; b0 < hi; b0 += kRowBlock) {
-      const std::size_t b1 = std::min(hi, b0 + kRowBlock);
-      Matrix& g = ws.mat(0, b1 - b0, cen.rows());
-      matmul_bt_rows_into(g, x, b0, b1, cen);
-      row_sq_norms(x, b0, b1, nx);
-      for (std::size_t i = b0; i < b1; ++i) {
-        auto gr = g.row(i - b0);
-        std::size_t best = 0;
-        double bd = std::numeric_limits<double>::infinity();
-        for (std::size_t c = 0; c < cen.rows(); ++c) {
-          const double d2 = std::max(0.0, nx[i - b0] + ncen[c] - 2.0 * gr[c]);
-          if (d2 < bd) {
-            bd = d2;
-            best = c;
-          }
-        }
-        if (assign) (*assign)[i] = best;
-        if (d2_out) (*d2_out)[i] = bd;
-      }
-    }
-  });
-}
-
-}  // namespace
+// The fused blocked nearest-centroid pass used to live here as a file-local
+// helper; it is now linalg::nearest_centroid (hoisted verbatim so the IVF
+// index can train with the identical kernel — see linalg/distance.hpp).
+using linalg::nearest_centroid;
 
 void KMeans::fit(const Matrix& x, Rng& rng) {
   require(cfg_.k > 0, "KMeans: k must be > 0");
@@ -99,7 +49,7 @@ void KMeans::fit(const Matrix& x, Rng& rng) {
   // Lloyd iterations; the assignment step is the hot part and runs fused.
   std::vector<std::size_t> assign(x.rows());
   for (std::size_t iter = 0; iter < cfg_.max_iters; ++iter) {
-    assign_nearest(x, centroids_, &assign, nullptr);
+    nearest_centroid(x, centroids_, &assign, nullptr);
 
     Matrix sums(cfg_.k, x.cols());
     std::vector<std::size_t> counts(cfg_.k, 0);
@@ -131,13 +81,31 @@ void KMeans::fit(const Matrix& x, Rng& rng) {
     }
     if (movement < cfg_.tol) break;
   }
+
+  // Opt-in ANN assignment: index the fitted centroids eagerly so the const
+  // predict() never mutates state. Exact mode keeps the provider empty.
+  if (cfg_.ann.nprobe > 0) {
+    Matrix cen = centroids_;
+    nn_.bind(std::move(cen), cfg_.ann);
+  } else {
+    nn_.unbind();
+  }
 }
 
 std::vector<std::size_t> KMeans::predict(const Matrix& x) const {
   require(fitted(), "KMeans::predict: not fitted");
   require(x.cols() == centroids_.cols(), "KMeans::predict: feature mismatch");
   std::vector<std::size_t> out(x.rows());
-  assign_nearest(x, centroids_, &out, nullptr);
+  if (nn_.ready() && !nn_.exact()) {
+    // IVF fast path (k = 1). Re-ranked distances are the exact fused values
+    // and ties break on the smaller centroid id — the same total order as
+    // the strict-< argmin below — so this only differs from exact when the
+    // probed clusters miss the true nearest centroid.
+    const linalg::Knn nn = nn_.knn(x, 1, /*exclude_self=*/false);
+    for (std::size_t i = 0; i < x.rows(); ++i) out[i] = nn.indices[i][0];
+    return out;
+  }
+  nearest_centroid(x, centroids_, &out, nullptr);
   return out;
 }
 
@@ -145,7 +113,7 @@ double KMeans::inertia(const Matrix& x) const {
   require(fitted(), "KMeans::inertia: not fitted");
   require(x.cols() == centroids_.cols(), "KMeans::inertia: feature mismatch");
   std::vector<double> d2(x.rows());
-  assign_nearest(x, centroids_, nullptr, &d2);
+  nearest_centroid(x, centroids_, nullptr, &d2);
   double total = 0.0;
   for (double v : d2) total += v;
   return total;

@@ -8,14 +8,15 @@ namespace cnd::ml {
 
 void KnnDetector::fit(const Matrix& x) {
   require(x.rows() > cfg_.k, "KnnDetector::fit: need more than k rows");
-  ref_ = x;
+  nn_.bind(x, cfg_.ann);
 }
 
 std::vector<double> KnnDetector::score(const Matrix& x) const {
   require(fitted(), "KnnDetector::score: not fitted");
-  // The neighbour search inside linalg::knn is the hot part and is itself
-  // batch-parallel; the reduction below parallelizes per sample.
-  const linalg::Knn nn = linalg::knn(x, ref_, cfg_.k, /*exclude_self=*/false);
+  // The neighbour search inside the provider is the hot part and is itself
+  // batch-parallel; the reduction below parallelizes per sample. Exact mode
+  // (ann.nprobe = 0) is bit-identical to linalg::knn(x, ref, k, false).
+  const linalg::Knn nn = nn_.knn(x, cfg_.k, /*exclude_self=*/false);
   std::vector<double> out(x.rows());
   runtime::parallel_for(0, x.rows(), runtime::grain_for_cost(cfg_.k),
                         [&](std::size_t lo, std::size_t hi) {

@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "linalg/distance.hpp"
 #include "tensor/matrix.hpp"
 
 namespace cnd::ml {
@@ -15,6 +16,10 @@ struct KnnDetectorConfig {
   std::size_t k = 10;
   /// Use the k-th neighbour distance instead of the mean of all k.
   bool use_kth_only = false;
+  /// Neighbor-query knob: nprobe = 0 (default) is exact brute force,
+  /// bit-identical to the pre-ANN path; nprobe > 0 routes score-time kNN
+  /// through an IVF index over the reference set.
+  linalg::AnnConfig ann{};
 };
 
 class KnnDetector {
@@ -26,11 +31,13 @@ class KnnDetector {
   /// Mean (or k-th) neighbour distance; higher = more anomalous.
   std::vector<double> score(const Matrix& x) const;
 
-  bool fitted() const { return !ref_.empty(); }
+  bool fitted() const { return nn_.ready(); }
 
  private:
   KnnDetectorConfig cfg_;
-  Matrix ref_;
+  /// Owns the reference matrix, its cached row norms, and the optional IVF
+  /// index (docs/ANN.md).
+  linalg::NeighborProvider nn_;
 };
 
 }  // namespace cnd::ml

@@ -10,16 +10,19 @@ namespace cnd::ml {
 
 void Lof::fit(const Matrix& x) {
   require(x.rows() > cfg_.k, "Lof::fit: need more than k reference points");
-  ref_ = x;
+  nn_.bind(x, cfg_.ann);
+  const std::size_t n = nn_.ref().rows();
 
-  const linalg::Knn nn = linalg::knn(ref_, ref_, cfg_.k, /*exclude_self=*/true);
-  ref_kdist_.resize(ref_.rows());
-  for (std::size_t i = 0; i < ref_.rows(); ++i) ref_kdist_[i] = nn.distances[i].back();
+  // Provider kNN: exact mode is bit-identical to linalg::knn on the same
+  // arguments (same kernel, cached norms); ANN mode probes the IVF index.
+  const linalg::Knn nn = nn_.knn(nn_.ref(), cfg_.k, /*exclude_self=*/true);
+  ref_kdist_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) ref_kdist_[i] = nn.distances[i].back();
 
   // lrd reads the complete ref_kdist_ array, so it only starts after the
   // loop above finishes; per-point lrds are then independent.
-  ref_lrd_.resize(ref_.rows());
-  runtime::parallel_for(0, ref_.rows(), runtime::grain_for_cost(cfg_.k),
+  ref_lrd_.resize(n);
+  runtime::parallel_for(0, n, runtime::grain_for_cost(cfg_.k),
                         [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i)
       ref_lrd_[i] = lrd_of(nn.distances[i], nn.indices[i]);
@@ -37,7 +40,7 @@ double Lof::lrd_of(std::span<const double> dists,
 
 std::vector<double> Lof::score(const Matrix& x) const {
   require(fitted(), "Lof::score: not fitted");
-  const linalg::Knn nn = linalg::knn(x, ref_, cfg_.k, /*exclude_self=*/false);
+  const linalg::Knn nn = nn_.knn(x, cfg_.k, /*exclude_self=*/false);
   std::vector<double> out(x.rows());
   runtime::parallel_for(0, x.rows(), runtime::grain_for_cost(cfg_.k),
                         [&](std::size_t lo, std::size_t hi) {

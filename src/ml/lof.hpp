@@ -12,6 +12,10 @@ namespace cnd::ml {
 
 struct LofConfig {
   std::size_t k = 20;  ///< neighbourhood size (MinPts).
+  /// Neighbor-query knob: nprobe = 0 (default) is exact brute force,
+  /// bit-identical to the pre-ANN path; nprobe > 0 routes fit-time and
+  /// score-time kNN through an IVF index over the reference set.
+  linalg::AnnConfig ann{};
 };
 
 class Lof {
@@ -24,15 +28,17 @@ class Lof {
   /// LOF score per query row (≈1 for inliers, >1 for outliers).
   std::vector<double> score(const Matrix& x) const;
 
-  bool fitted() const { return !ref_.empty(); }
+  bool fitted() const { return nn_.ready(); }
 
  private:
-  /// Reachability-based local density of a point given its neighbours in ref_.
+  /// Reachability-based local density of a point given its neighbours in ref.
   double lrd_of(std::span<const double> dists,
                 const std::vector<std::size_t>& idx) const;
 
   LofConfig cfg_;
-  Matrix ref_;
+  /// Owns the reference matrix, its cached row norms (score() used to
+  /// recompute them on every call), and the optional IVF index.
+  linalg::NeighborProvider nn_;
   std::vector<double> ref_kdist_;  ///< k-distance of each reference point.
   std::vector<double> ref_lrd_;    ///< local reachability density of refs.
 };

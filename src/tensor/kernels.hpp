@@ -106,6 +106,39 @@ namespace kernels {
 void row_sq_norms(const Matrix& a, std::size_t lo, std::size_t hi,
                   std::vector<double>& out);
 
+/// One Gram element's canonical chain: Σ_p madd(a[p]·b[p]) with p strictly
+/// ascending — exactly the instruction pattern of one blocked-GEMM output
+/// element, exposed as a scalar so the IVF re-rank (linalg/ivf_index.cpp)
+/// can promote a float32 shortlist back to the bit-identical double distance
+/// the exact kernels would have produced.
+double dot_canonical(std::span<const double> a, std::span<const double> b);
+
+// ---- float32 IVF scan variants ---------------------------------------------
+//
+// The ONE sanctioned float32 surface in the bit-exactness layers
+// (docs/ANN.md): the IVF probe loop scans contiguous per-cluster float32
+// blocks for CANDIDATE SELECTION only — every distance that leaves the index
+// is re-ranked in double via dot_canonical. The scan lives in this TU so a
+// single ISA/contraction setting (src/CMakeLists.txt, CND_KERNEL_MARCH)
+// covers it: candidate sets are then a pure function of the stored bytes,
+// identical at any thread count and across sanitizer builds.
+
+/// Cast one double row into a packed float32 row (posting-block storage).
+// cnd-lint: allow(no-float) — the sanctioned float32 IVF scan surface
+void cast_row_f32(std::span<const double> row, float* out);
+
+/// out[i] = ||rows[i]||² over n packed float32 rows of width d, accumulated
+/// p-ascending in float32 (matches the scan's own accumulation pattern).
+// cnd-lint: allow(no-float) — the sanctioned float32 IVF scan surface
+void sq_norms_f32(const float* rows, std::size_t n, std::size_t d, float* out);
+
+/// Fused float32 scan of one query against a packed block:
+/// out[j] = max(0, qn + norms[j] − 2·q·rows[j]), j in [0, n).
+// cnd-lint: allow(no-float) — the sanctioned float32 IVF scan surface
+void ivf_scan_f32(const float* q, float qn, const float* rows,
+                  // cnd-lint: allow(no-float) — continuation of the decl above
+                  const float* norms, std::size_t n, std::size_t d, float* out);
+
 // Naive reference kernels: the canonical accumulation order written as the
 // obvious triple loop, no blocking, no parallelism. The blocked kernels
 // above must match these bit-for-bit (tests/test_kernels.cpp); they are the

@@ -26,6 +26,15 @@
 #                   be byte-identical at CND_THREADS=1 vs 4 (and in the TSan
 #                   tree when TSAN_BUILD_DIR is set), and every name in
 #                   KERNELS below must appear in them.
+#   ANN_SWEEP=0     opt out of the ANN sweep (on by default): bench_ann
+#                   --dump-ann first verifies in process that the
+#                   NeighborProvider's exact mode reproduces brute-force
+#                   linalg::knn and the pre-provider LOF / kNN-detector
+#                   scores byte-for-byte, then writes exact-mode scores and
+#                   IVF (nprobe>0) neighbours/scores to a CSV; the dump must
+#                   be byte-identical at CND_THREADS=1 vs 4 (ANN answers are
+#                   approximate, never nondeterministic — docs/ANN.md), and
+#                   in the TSan tree when TSAN_BUILD_DIR is set.
 #   SERVING_SWEEP=0 opt out of the serving sweep (on by default):
 #                   bench_serving --dump-scores replays the same flow stream
 #                   through the sharded scoring service at 1 and 4 shards
@@ -71,6 +80,7 @@ KERNELS=(
   "matmul_at"
   "pairwise_dist"
   "knn"
+  "ivf_knn"
 )
 
 BUILD_DIR=${BUILD_DIR:-build}
@@ -222,6 +232,61 @@ if [ "${KERNEL_SWEEP:-1}" = "1" ]; then
         else
           echo "FAIL kernels.csv differs between Release t1 and TSan t4"
           diff "${WORK}/k1/kernels.csv" "${WORK}/ktsan/kernels.csv" | head -10 || true
+          status=1
+        fi
+      fi
+    fi
+  fi
+fi
+
+# ANN sweep (on by default; ANN_SWEEP=0 opts out): bench_ann --dump-ann
+# checks the exact-fallback contract in process (provider exact mode ==
+# brute force == pre-provider detector scoring, byte for byte) and dumps
+# exact scores plus IVF neighbours/scores; the dump is then byte-compared
+# between CND_THREADS=1 and 4 — approximate answers still follow the
+# determinism contract — and against the TSan tree when available.
+if [ "${ANN_SWEEP:-1}" = "1" ]; then
+  ANN="${BUILD_DIR}/bench/bench_ann"
+  if [ ! -x "${ANN}" ]; then
+    echo "FAIL ann sweep: '${ANN}' is missing (ANN_SWEEP=0 to skip)"
+    status=1
+  else
+    ann=$(readlink -f "${ANN}")
+    for t in 1 4; do
+      mkdir -p "${WORK}/a${t}"
+      echo "== CND_THREADS=${t} $(basename "${ann}") --dump-ann=ann.csv"
+      (cd "${WORK}/a${t}" && CND_THREADS=${t} "${ann}" --dump-ann=ann.csv > stdout.log)
+    done
+    if diff -q "${WORK}/a1/ann.csv" "${WORK}/a4/ann.csv" > /dev/null; then
+      echo "OK   ann.csv identical between CND_THREADS=1 and 4"
+    else
+      echo "FAIL ann.csv differs between CND_THREADS=1 and 4"
+      diff "${WORK}/a1/ann.csv" "${WORK}/a4/ann.csv" | head -10 || true
+      status=1
+    fi
+    for case_name in exact_knn_scores exact_lof_scores ann_knn ann_knn_scores ann_lof_scores; do
+      if grep -q "^${case_name}," "${WORK}/a1/ann.csv"; then
+        echo "OK   ann case '${case_name}' present in dump"
+      else
+        echo "FAIL ann case '${case_name}' absent from ann.csv"
+        status=1
+      fi
+    done
+    if [ -n "${TSAN_BUILD_DIR:-}" ]; then
+      TSAN_ANN="${TSAN_BUILD_DIR}/bench/bench_ann"
+      if [ ! -x "${TSAN_ANN}" ]; then
+        echo "FAIL ann sweep: TSAN_BUILD_DIR set but '${TSAN_ANN}' is missing"
+        status=1
+      else
+        tsan_ann=$(readlink -f "${TSAN_ANN}")
+        mkdir -p "${WORK}/atsan"
+        echo "== CND_THREADS=4 (TSan) $(basename "${tsan_ann}") --dump-ann=ann.csv"
+        (cd "${WORK}/atsan" && CND_THREADS=4 "${tsan_ann}" --dump-ann=ann.csv > stdout.log)
+        if diff -q "${WORK}/a1/ann.csv" "${WORK}/atsan/ann.csv" > /dev/null; then
+          echo "OK   ann.csv identical between Release t1 and TSan t4"
+        else
+          echo "FAIL ann.csv differs between Release t1 and TSan t4"
+          diff "${WORK}/a1/ann.csv" "${WORK}/atsan/ann.csv" | head -10 || true
           status=1
         fi
       fi
