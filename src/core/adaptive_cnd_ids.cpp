@@ -36,6 +36,7 @@ double mean_of(std::span<const double> v) {
 
 }  // namespace
 
+// cnd-throw-ok(config validation — runs once at construction/bootstrap, never per batch)
 void AdaptiveTriggerConfig::validate() const {
   require(ph_delta >= 0.0, "AdaptiveTriggerConfig: ph_delta must be >= 0");
   require(ph_lambda > 0.0, "AdaptiveTriggerConfig: ph_lambda must be > 0");

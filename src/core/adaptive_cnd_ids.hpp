@@ -64,9 +64,10 @@ class AdaptiveCndIds final : public ContinualDetector {
   /// Page-Hinkley baseline on the clean window.
   void refit(const Matrix& x_train);
 
-  AdaptiveTriggerConfig trig_;
+  AdaptiveTriggerConfig trig_;  // cnd-snapshot: skip(construction-time config — the restoring detector is built with it)
   CndIds detector_;
   ml::PageHinkley ph_;
+  // cnd-snapshot: skip(clean-window data, not model state — snapshots ship the model only)
   Matrix n_clean_;
   double ref_mean_ = 1.0;  ///< mean score on N_c under the current model.
   bool fitted_ = false;

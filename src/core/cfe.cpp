@@ -231,7 +231,7 @@ Matrix Cfe::encode(const Matrix& x) {
 }
 
 void Cfe::encode_into(const Matrix& x, Matrix& out) {
-  require(ae_.initialized(), "Cfe::encode: no experience observed yet");
+  require(ae_.initialized(), "Cfe::encode: no experience observed yet");  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
   ae_.encode_into(x, out);
 }
 

@@ -25,6 +25,7 @@ void ContinualDetector::restore(std::istream&) {
   throw std::logic_error(name() + ": restore() not supported");
 }
 
+// cnd-throw-ok(config validation — runs once at construction/bootstrap, never per batch)
 void CndIdsConfig::validate() const {
   require(cfe.hidden_dim > 0, "CndIdsConfig: cfe.hidden_dim must be > 0");
   require(cfe.latent_dim > 0, "CndIdsConfig: cfe.latent_dim must be > 0");
@@ -105,7 +106,7 @@ std::vector<double> CndIds::score(const Matrix& x_test) {
 // hence bit-identical scores.
 // cnd-hot
 void CndIds::score_into(const Matrix& x_test, std::vector<double>& out) {
-  require(pca_.fitted(), "CndIds::score: no experience observed yet");
+  require(pca_.fitted(), "CndIds::score: no experience observed yet");  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
   cfe_.encode_into(x_test, latent_);
   pca_.score_into(latent_, out, score_ws_);
   // Scores feed threshold search and CSV output; a NaN would scramble both.

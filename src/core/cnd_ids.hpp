@@ -52,15 +52,16 @@ class CndIds final : public ContinualDetector {
   const CfeFitStats& last_fit_stats() const { return last_stats_; }
 
  private:
-  CndIdsConfig cfg_;
+  CndIdsConfig cfg_;  // cnd-snapshot: skip(construction-time config — the restoring detector is built with it)
   Cfe cfe_;
   ml::Pca pca_;
+  // cnd-snapshot: skip(clean-window data, not model state — snapshots ship the model only)
   Matrix n_clean_;
-  CfeFitStats last_stats_;
+  CfeFitStats last_stats_;  // cnd-snapshot: skip(fit diagnostics — not part of the scoring function)
   // Scratch for score_into: latent batch + PCA workspace. Scoring reuses
   // these across calls, so one detector serves one thread at a time.
-  Matrix latent_;
-  Workspace score_ws_;
+  Matrix latent_;  // cnd-snapshot: skip(scoring scratch — resized on every batch)
+  Workspace score_ws_;  // cnd-snapshot: skip(scoring scratch — resized on every batch)
 };
 
 }  // namespace cnd::core

@@ -11,6 +11,7 @@
 
 namespace cnd::core {
 
+// cnd-throw-ok(config validation — runs once at construction/bootstrap, never per batch)
 void StreamingConfig::validate() const {
   // Surface nested detector-config errors with a "detector." prefix so the
   // caller can tell which layer rejected the value.

@@ -19,6 +19,7 @@ class Timer {
   using clock = std::chrono::steady_clock;
   // Table IV reports wall-clock fit/infer overhead, so this header is a
   // sanctioned measurement surface outside src/obs.
+  // cnd-det-ok(sanctioned measurement surface — timings feed bench/eval timing fields, never scores)
   static clock::time_point now() { return clock::now(); }  // cnd-lint: allow(no-clock)
   clock::time_point start_;
 };

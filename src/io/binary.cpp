@@ -110,4 +110,47 @@ Matrix read_matrix(std::istream& is) {
   return m;
 }
 
+std::uint64_t fnv1a64(const char* data, std::size_t n) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x00000100000001b3ull;
+  }
+  return h;
+}
+
+void write_envelope(std::ostream& os, std::uint64_t tag,
+                    const std::string& payload) {
+  write_header(os);
+  write_u64(os, tag);
+  write_u64(os, payload.size());
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  check_stream(os, "envelope payload write failed");
+  write_u64(os, fnv1a64(payload.data(), payload.size()));
+}
+
+std::string read_envelope(std::istream& is, std::uint64_t expected_tag,
+                          const char* what) {
+  read_header(is);
+  const std::uint64_t tag = read_u64(is);
+  if (tag != expected_tag)
+    throw std::runtime_error(std::string("cnd::io: ") + what +
+                             ": stream carries another detector's snapshot "
+                             "(tag " + std::to_string(tag) + ")");
+  const std::uint64_t n = read_u64(is);
+  if (n > (1ull << 30))
+    throw std::runtime_error(std::string("cnd::io: ") + what +
+                             ": implausible snapshot payload size");
+  std::string payload(static_cast<std::size_t>(n), '\0');
+  is.read(payload.data(), static_cast<std::streamsize>(n));
+  check_stream(is, "envelope payload read failed");
+  const std::uint64_t want = read_u64(is);
+  const std::uint64_t got = fnv1a64(payload.data(), payload.size());
+  if (got != want)
+    throw std::runtime_error(std::string("cnd::io: ") + what +
+                             ": snapshot payload checksum mismatch — "
+                             "artifact is corrupt");
+  return payload;
+}
+
 }  // namespace cnd::io

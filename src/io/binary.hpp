@@ -15,7 +15,7 @@
 namespace cnd::io {
 
 inline constexpr std::uint32_t kMagic = 0xC9D51D50;  // "CND-IDS" tag
-inline constexpr std::uint32_t kVersion = 1;
+inline constexpr std::uint32_t kVersion = 2;  // v2: checksummed snapshot envelope
 
 void write_header(std::ostream& os);
 /// Throws std::runtime_error on magic/version mismatch.
@@ -35,5 +35,22 @@ std::vector<double> read_vec(std::istream& is);
 
 void write_matrix(std::ostream& os, const Matrix& m);
 Matrix read_matrix(std::istream& is);
+
+/// FNV-1a 64-bit over a byte range (offset basis 0xcbf29ce484222325).
+std::uint64_t fnv1a64(const char* data, std::size_t n);
+
+/// Checksummed framing for snapshot payloads: header, tag, payload length,
+/// payload bytes, FNV-1a-64 of the payload. The tag stays outside the
+/// checksummed region so restoring from the wrong detector's bytes reports
+/// a tag mismatch, not a generic corruption error.
+void write_envelope(std::ostream& os, std::uint64_t tag,
+                    const std::string& payload);
+
+/// Reads and verifies an envelope written by write_envelope. Throws
+/// std::runtime_error on a bad header, a tag mismatch (message names
+/// `what`), a truncated stream, or a checksum mismatch; returns the
+/// verified payload bytes.
+std::string read_envelope(std::istream& is, std::uint64_t expected_tag,
+                          const char* what);
 
 }  // namespace cnd::io

@@ -13,8 +13,17 @@
 // the paper makes for L_CL. For CndIds that is the CFE encoder plus the PCA
 // moments; restored detectors are inference-only (Cfe::restore_encoder sets
 // the restored flag, so a later fit_experience throws std::logic_error).
+//
+// Wire format (io::binary v2): each snapshot is a checksummed envelope —
+// header, detector tag, payload length, payload bytes, FNV-1a-64 of the
+// payload. The whole payload is buffered and verified before any member is
+// touched, so a truncated or bit-flipped artifact throws from restore()
+// without half-mutating the detector. The Adaptive payload nests the full
+// inner CndIds envelope, so the inner state is independently checksummed.
 #include <istream>
 #include <ostream>
+#include <sstream>
+#include <utility>
 
 #include "core/adaptive_cnd_ids.hpp"
 #include "core/cnd_ids.hpp"
@@ -26,7 +35,7 @@ namespace cnd::core {
 
 namespace {
 
-// Detector tags inside a snapshot stream: restoring from the wrong
+// Detector tags on a snapshot envelope: restoring from the wrong
 // detector's bytes must fail loudly, not mis-load.
 constexpr std::uint64_t kTagCndIds = 1;
 constexpr std::uint64_t kTagAdaptive = 2;
@@ -35,64 +44,64 @@ constexpr std::uint64_t kTagAdaptive = 2;
 
 void CndIds::snapshot(std::ostream& os) const {
   require(pca_.fitted(), "CndIds::snapshot: no experience observed yet");
-  io::write_header(os);
-  io::write_u64(os, kTagCndIds);
-  io::write_u64(os, cfe_.autoencoder().config().input_dim);
+  std::ostringstream payload(std::ios::binary);
+  io::write_u64(payload, cfe_.autoencoder().config().input_dim);
   // encoder_copy() deep-clones, giving write_sequential the non-const
   // Sequential its params() walk needs without const_cast.
   nn::Sequential enc = cfe_.autoencoder().encoder_copy();
-  io::write_sequential(os, enc);
-  io::write_vec(os, pca_.center());
-  io::write_matrix(os, pca_.components());
+  io::write_sequential(payload, enc);
+  io::write_vec(payload, pca_.center());
+  io::write_matrix(payload, pca_.components());
+  require(payload.good(), "CndIds::snapshot: payload write failed");
+  io::write_envelope(os, kTagCndIds, payload.str());
   require(os.good(), "CndIds::snapshot: write failed");
 }
 
 void CndIds::restore(std::istream& is) {
-  io::read_header(is);
-  require(io::read_u64(is) == kTagCndIds,
-          "CndIds::restore: stream is not a CND-IDS snapshot");
-  const auto input_dim = static_cast<std::size_t>(io::read_u64(is));
-  nn::Sequential enc = io::read_sequential(is);
-  std::vector<double> mean = io::read_vec(is);
-  Matrix comps = io::read_matrix(is);
-  require(is.good(), "CndIds::restore: truncated snapshot");
+  std::istringstream payload(io::read_envelope(is, kTagCndIds, "CndIds"),
+                             std::ios::binary);
+  const auto input_dim = static_cast<std::size_t>(io::read_u64(payload));
+  nn::Sequential enc = io::read_sequential(payload);
+  std::vector<double> mean = io::read_vec(payload);
+  Matrix comps = io::read_matrix(payload);
+  require(payload.good(), "CndIds::restore: truncated snapshot");
   cfe_.restore_encoder(std::move(enc), input_dim);
   pca_ = ml::Pca(std::move(mean), std::move(comps));
 }
 
 void AdaptiveCndIds::snapshot(std::ostream& os) const {
-  io::write_header(os);
-  io::write_u64(os, kTagAdaptive);
-  detector_.snapshot(os);
-  io::write_f64(os, ref_mean_);
-  io::write_u64(os, fitted_ ? 1 : 0);
-  io::write_u64(os, updates_);
-  io::write_u64(os, skips_);
-  io::write_u64(os, drift_signals_);
+  std::ostringstream payload(std::ios::binary);
+  detector_.snapshot(payload);
+  io::write_f64(payload, ref_mean_);
+  io::write_u64(payload, fitted_ ? 1 : 0);
+  io::write_u64(payload, updates_);
+  io::write_u64(payload, skips_);
+  io::write_u64(payload, drift_signals_);
   const ml::PageHinkley::State ph = ph_.state();
-  io::write_u64(os, ph.n);
-  io::write_f64(os, ph.mean);
-  io::write_f64(os, ph.mt);
-  io::write_f64(os, ph.min_mt);
+  io::write_u64(payload, ph.n);
+  io::write_f64(payload, ph.mean);
+  io::write_f64(payload, ph.mt);
+  io::write_f64(payload, ph.min_mt);
+  require(payload.good(), "AdaptiveCndIds::snapshot: payload write failed");
+  io::write_envelope(os, kTagAdaptive, payload.str());
   require(os.good(), "AdaptiveCndIds::snapshot: write failed");
 }
 
 void AdaptiveCndIds::restore(std::istream& is) {
-  io::read_header(is);
-  require(io::read_u64(is) == kTagAdaptive,
-          "AdaptiveCndIds::restore: stream is not an Adaptive snapshot");
-  detector_.restore(is);
-  ref_mean_ = io::read_f64(is);
-  fitted_ = io::read_u64(is) == 1;
-  updates_ = static_cast<std::size_t>(io::read_u64(is));
-  skips_ = static_cast<std::size_t>(io::read_u64(is));
-  drift_signals_ = static_cast<std::size_t>(io::read_u64(is));
+  std::istringstream payload(io::read_envelope(is, kTagAdaptive, "Adaptive"),
+                             std::ios::binary);
+  detector_.restore(payload);
+  ref_mean_ = io::read_f64(payload);
+  fitted_ = io::read_u64(payload) == 1;
+  updates_ = static_cast<std::size_t>(io::read_u64(payload));
+  skips_ = static_cast<std::size_t>(io::read_u64(payload));
+  drift_signals_ = static_cast<std::size_t>(io::read_u64(payload));
   ml::PageHinkley::State ph;
-  ph.n = static_cast<std::size_t>(io::read_u64(is));
-  ph.mean = io::read_f64(is);
-  ph.mt = io::read_f64(is);
-  ph.min_mt = io::read_f64(is);
-  require(is.good(), "AdaptiveCndIds::restore: truncated snapshot");
+  ph.n = static_cast<std::size_t>(io::read_u64(payload));
+  ph.mean = io::read_f64(payload);
+  ph.mt = io::read_f64(payload);
+  ph.min_mt = io::read_f64(payload);
+  require(payload.good(), "AdaptiveCndIds::restore: truncated snapshot");
   ph_.set_state(ph);
 }
 

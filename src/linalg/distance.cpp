@@ -35,7 +35,7 @@ constexpr std::size_t kRowBlock = 256;
 // cnd-hot
 void pairwise_sq_dist_impl(Matrix& d2, const Matrix& a, const Matrix& b,
                            const std::vector<double>& nb, Workspace& ws) {
-  require(a.cols() == b.cols(), "pairwise_sq_dist: feature mismatch");
+  require(a.cols() == b.cols(), "pairwise_sq_dist: feature mismatch");  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
   CND_DCHECK_ALL_FINITE(a, "pairwise_sq_dist: lhs has non-finite elements");
   CND_DCHECK_ALL_FINITE(b, "pairwise_sq_dist: rhs has non-finite elements");
   auto& na = ws.vec(0, a.rows());
@@ -61,16 +61,16 @@ void pairwise_sq_dist_impl(Matrix& d2, const Matrix& a, const Matrix& b,
 void knn_impl(Knn& out, const Matrix& query, const Matrix& ref,
               const std::vector<double>& nref, std::size_t k,
               bool exclude_self) {
-  require(query.cols() == ref.cols(), "knn: feature mismatch");
-  require(k > 0, "knn: k must be > 0");
+  require(query.cols() == ref.cols(), "knn: feature mismatch");  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
+  require(k > 0, "knn: k must be > 0");  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
   // NaN distances have no place in an ordering; catch them before they
   // silently scramble neighbour lists.
   CND_DCHECK_ALL_FINITE(query, "knn: query has non-finite elements");
   CND_DCHECK_ALL_FINITE(ref, "knn: reference has non-finite elements");
-  require(!exclude_self || &query == &ref,
+  require(!exclude_self || &query == &ref,  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
           "knn: exclude_self requires query and ref to be the same matrix");
   const std::size_t avail = ref.rows() - (exclude_self ? 1 : 0);
-  require(k <= avail, "knn: k larger than reference set");
+  require(k <= avail, "knn: k larger than reference set");  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
 
   out.indices.resize(query.rows());
   out.distances.resize(query.rows());
@@ -192,6 +192,7 @@ void nearest_centroid(const Matrix& x, const Matrix& cen,
 
 // ---- AnnConfig / NeighborProvider ------------------------------------------
 
+// cnd-throw-ok(config validation — runs once at construction/bootstrap, never per batch)
 void AnnConfig::validate() const {
   if (nprobe == 0) return;  // exact mode: the other knobs are inert.
   require(build_iters > 0, "AnnConfig: build_iters must be > 0");

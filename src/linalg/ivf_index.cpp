@@ -34,8 +34,8 @@ std::size_t auto_cluster_count(std::size_t rows) {
 // first pass (Workspace-style reuse via sums/counts).
 // cnd-hot
 void IvfIndex::build_from(const Matrix& ref, const AnnConfig& cfg) {
-  require(!ref.empty(), "IvfIndex::build_from: empty reference set");
-  require(ref.rows() <= std::numeric_limits<std::uint32_t>::max(),
+  require(!ref.empty(), "IvfIndex::build_from: empty reference set");  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
+  require(ref.rows() <= std::numeric_limits<std::uint32_t>::max(),  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
           "IvfIndex::build_from: reference set exceeds uint32 id range");
   cfg.validate();
   rows_ = ref.rows();

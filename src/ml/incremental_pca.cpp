@@ -10,12 +10,12 @@ namespace cnd::ml {
 
 // cnd-hot
 void IncrementalPca::partial_fit(const Matrix& x) {
-  require(x.rows() > 0, "IncrementalPca::partial_fit: empty batch");
+  require(x.rows() > 0, "IncrementalPca::partial_fit: empty batch");  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
   if (n_ == 0) {
     mean_.assign(x.cols(), 0.0);  // cnd-analyze: allow(hot-path-alloc) — first batch only
     comoment_ = Matrix(x.cols(), x.cols());
   }
-  require(x.cols() == mean_.size(), "IncrementalPca::partial_fit: width mismatch");
+  require(x.cols() == mean_.size(), "IncrementalPca::partial_fit: width mismatch");  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
 
   // Chan et al. pairwise update: merge batch moments into running moments.
   // Temporaries live in the member workspace so a stream of equally-shaped
@@ -112,8 +112,8 @@ std::vector<double> IncrementalPca::score(const Matrix& x) const {
 // cnd-hot
 void IncrementalPca::score_into(const Matrix& x, std::vector<double>& out,
                                 Workspace& ws) const {
-  require(refreshed_, "IncrementalPca::score: refresh() not called");
-  require(x.cols() == basis_mean_.size(), "IncrementalPca::score: width mismatch");
+  require(refreshed_, "IncrementalPca::score: refresh() not called");  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
+  require(x.cols() == basis_mean_.size(), "IncrementalPca::score: width mismatch");  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
   // Same operation sequence as transform() + the naive score loop, through
   // workspace buffers — scores are bit-identical to score().
   Matrix& centered = ws.mat(0, x.rows(), x.cols());

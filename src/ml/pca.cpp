@@ -73,8 +73,8 @@ std::vector<double> Pca::score(const Matrix& x) const {
 }
 
 void Pca::transform_into(const Matrix& x, Matrix& out, Workspace& ws) const {
-  require(fitted(), "Pca::transform: not fitted");
-  require(x.cols() == mean_.size(), "Pca::transform: feature mismatch");
+  require(fitted(), "Pca::transform: not fitted");  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
+  require(x.cols() == mean_.size(), "Pca::transform: feature mismatch");  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
   Matrix& centered = ws.mat(0, x.rows(), x.cols());
   sub_rowvec_into(centered, x, mean_);
   matmul_into(out, centered, components_);
@@ -82,7 +82,7 @@ void Pca::transform_into(const Matrix& x, Matrix& out, Workspace& ws) const {
 
 // cnd-hot
 void Pca::score_into(const Matrix& x, std::vector<double>& out, Workspace& ws) const {
-  require(fitted(), "Pca::score: not fitted");
+  require(fitted(), "Pca::score: not fitted");  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
   // Same operation sequence as transform() + inverse_transform() + sq_dist,
   // just through workspace buffers — scores are bit-identical to score().
   Matrix& l = ws.mat(1, x.rows(), components_.cols());

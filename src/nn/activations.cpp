@@ -33,7 +33,7 @@ void ReLU::forward_into(const Matrix& x, Matrix& y, bool train) {
 }
 
 void ReLU::backward_into(const Matrix& grad_out, Matrix& grad_in) {
-  require(grad_out.same_shape(x_cache_), "ReLU::backward: shape mismatch");
+  require(grad_out.same_shape(x_cache_), "ReLU::backward: shape mismatch");  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
   grad_in.resize(grad_out.rows(), grad_out.cols());
   for (std::size_t i = 0; i < grad_in.rows(); ++i) {
     auto gr = grad_in.row(i);
@@ -69,7 +69,7 @@ void Tanh::forward_into(const Matrix& x, Matrix& y, bool train) {
 }
 
 void Tanh::backward_into(const Matrix& grad_out, Matrix& grad_in) {
-  require(grad_out.same_shape(y_cache_), "Tanh::backward: shape mismatch");
+  require(grad_out.same_shape(y_cache_), "Tanh::backward: shape mismatch");  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
   grad_in.resize(grad_out.rows(), grad_out.cols());
   for (std::size_t i = 0; i < grad_in.rows(); ++i) {
     auto gr = grad_in.row(i);
@@ -106,7 +106,7 @@ void Sigmoid::forward_into(const Matrix& x, Matrix& y, bool train) {
 }
 
 void Sigmoid::backward_into(const Matrix& grad_out, Matrix& grad_in) {
-  require(grad_out.same_shape(y_cache_), "Sigmoid::backward: shape mismatch");
+  require(grad_out.same_shape(y_cache_), "Sigmoid::backward: shape mismatch");  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
   grad_in.resize(grad_out.rows(), grad_out.cols());
   for (std::size_t i = 0; i < grad_in.rows(); ++i) {
     auto gr = grad_in.row(i);

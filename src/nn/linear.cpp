@@ -30,8 +30,8 @@ Matrix Linear::backward(const Matrix& grad_out) {
 
 // cnd-hot
 void Linear::forward_into(const Matrix& x, Matrix& y, bool train) {
-  require(x.cols() == w_.rows(), "Linear::forward: input width mismatch");
-  require(&y != &x, "Linear::forward_into: output aliases input");
+  require(x.cols() == w_.rows(), "Linear::forward: input width mismatch");  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
+  require(&y != &x, "Linear::forward_into: output aliases input");  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
   // vector copy-assignment reuses the cache's existing capacity, so at a
   // steady batch shape this caching copy performs no allocation.
   if (train) x_cache_ = x;
@@ -41,10 +41,10 @@ void Linear::forward_into(const Matrix& x, Matrix& y, bool train) {
 
 // cnd-hot
 void Linear::backward_into(const Matrix& grad_out, Matrix& grad_in) {
-  require(!x_cache_.empty(), "Linear::backward: no cached forward pass");
-  require(grad_out.rows() == x_cache_.rows() && grad_out.cols() == w_.cols(),
+  require(!x_cache_.empty(), "Linear::backward: no cached forward pass");  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
+  require(grad_out.rows() == x_cache_.rows() && grad_out.cols() == w_.cols(),  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
           "Linear::backward: gradient shape mismatch");
-  require(&grad_in != &grad_out, "Linear::backward_into: output aliases input");
+  require(&grad_in != &grad_out, "Linear::backward_into: output aliases input");  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
   CND_DCHECK_ALL_FINITE(grad_out, "Linear::backward: non-finite upstream gradient");
   matmul_at_add_into(gw_, x_cache_, grad_out);
   for (std::size_t i = 0; i < grad_out.rows(); ++i) {

@@ -41,7 +41,7 @@ class ScopedTimer {
   double stop_ms() {
     if (!hist_) return 0.0;
     const double ms =
-        std::chrono::duration<double, std::milli>(clock::now() - start_).count();
+        std::chrono::duration<double, std::milli>(clock::now() - start_).count();  // cnd-det-ok(write-only telemetry — durations feed obs histograms, never results)
     hist_->record(ms);
     hist_ = nullptr;
     return ms;

@@ -128,6 +128,7 @@ class ContaminationRamp final : public Scenario {
 
 }  // namespace
 
+// cnd-throw-ok(config validation — runs once at construction/bootstrap, never per batch)
 void ScenarioOptions::validate() const {
   require(n_experiences >= 2, "ScenarioOptions: n_experiences must be >= 2");
   require(drift_magnitude >= 0.0,

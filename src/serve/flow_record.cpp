@@ -142,8 +142,8 @@ FlowRecordFile& FlowRecordFile::operator=(FlowRecordFile&& o) noexcept {
 }
 
 std::span<const float> FlowRecordFile::row(std::size_t i) const {
-  require(open(), "FlowRecordFile::row: no file open");
-  require(i < rows_, "FlowRecordFile::row: row index out of range");
+  require(open(), "FlowRecordFile::row: no file open");  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
+  require(i < rows_, "FlowRecordFile::row: row index out of range");  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
   return {data_ + i * dim_, dim_};
 }
 

@@ -10,6 +10,7 @@
 
 namespace cnd::serve {
 
+// cnd-throw-ok(config validation — runs once at construction/bootstrap, never per batch)
 void ServiceConfig::validate() const {
   require(!detector.empty(), "ServiceConfig: detector name is empty");
   require(shards >= 1, "ServiceConfig: shards must be >= 1");

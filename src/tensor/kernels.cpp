@@ -251,8 +251,8 @@ void fill_zero_rows(Matrix& c, std::size_t lo, std::size_t hi) {
 }  // namespace
 
 void matmul_into(Matrix& c, const Matrix& a, const Matrix& b) {
-  require(a.cols() == b.rows(), "matmul_into: inner dimension mismatch");
-  require(&c != &a && &c != &b, "matmul_into: output aliases an input");
+  require(a.cols() == b.rows(), "matmul_into: inner dimension mismatch");  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
+  require(&c != &a && &c != &b, "matmul_into: output aliases an input");  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
   CND_DCHECK_ALL_FINITE(a, "matmul_into: lhs has non-finite elements");
   CND_DCHECK_ALL_FINITE(b, "matmul_into: rhs has non-finite elements");
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
@@ -269,8 +269,8 @@ void matmul_into(Matrix& c, const Matrix& a, const Matrix& b) {
 }
 
 void matmul_bt_into(Matrix& c, const Matrix& a, const Matrix& b) {
-  require(a.cols() == b.cols(), "matmul_bt_into: inner dimension mismatch");
-  require(&c != &a && &c != &b, "matmul_bt_into: output aliases an input");
+  require(a.cols() == b.cols(), "matmul_bt_into: inner dimension mismatch");  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
+  require(&c != &a && &c != &b, "matmul_bt_into: output aliases an input");  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
   CND_DCHECK_ALL_FINITE(a, "matmul_bt_into: lhs has non-finite elements");
   CND_DCHECK_ALL_FINITE(b, "matmul_bt_into: rhs has non-finite elements");
   const std::size_t m = a.rows(), k = a.cols(), nb = b.rows();
@@ -287,8 +287,8 @@ void matmul_bt_into(Matrix& c, const Matrix& a, const Matrix& b) {
 }
 
 void matmul_at_into(Matrix& c, const Matrix& a, const Matrix& b) {
-  require(a.rows() == b.rows(), "matmul_at_into: inner dimension mismatch");
-  require(&c != &a && &c != &b, "matmul_at_into: output aliases an input");
+  require(a.rows() == b.rows(), "matmul_at_into: inner dimension mismatch");  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
+  require(&c != &a && &c != &b, "matmul_at_into: output aliases an input");  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
   CND_DCHECK_ALL_FINITE(a, "matmul_at_into: lhs has non-finite elements");
   CND_DCHECK_ALL_FINITE(b, "matmul_at_into: rhs has non-finite elements");
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
@@ -305,10 +305,10 @@ void matmul_at_into(Matrix& c, const Matrix& a, const Matrix& b) {
 }
 
 void matmul_at_add_into(Matrix& c, const Matrix& a, const Matrix& b) {
-  require(a.rows() == b.rows(), "matmul_at_add_into: inner dimension mismatch");
-  require(c.rows() == a.cols() && c.cols() == b.cols(),
+  require(a.rows() == b.rows(), "matmul_at_add_into: inner dimension mismatch");  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
+  require(c.rows() == a.cols() && c.cols() == b.cols(),  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
           "matmul_at_add_into: output shape mismatch");
-  require(&c != &a && &c != &b, "matmul_at_add_into: output aliases an input");
+  require(&c != &a && &c != &b, "matmul_at_add_into: output aliases an input");  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
   CND_DCHECK_ALL_FINITE(a, "matmul_at_add_into: lhs has non-finite elements");
   CND_DCHECK_ALL_FINITE(b, "matmul_at_add_into: rhs has non-finite elements");
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
@@ -321,9 +321,9 @@ void matmul_at_add_into(Matrix& c, const Matrix& a, const Matrix& b) {
 
 void matmul_bt_rows_into(Matrix& c, const Matrix& a, std::size_t lo,
                          std::size_t hi, const Matrix& b) {
-  require(a.cols() == b.cols(), "matmul_bt_rows_into: inner dimension mismatch");
-  require(lo <= hi && hi <= a.rows(), "matmul_bt_rows_into: row range out of bounds");
-  require(&c != &a && &c != &b, "matmul_bt_rows_into: output aliases an input");
+  require(a.cols() == b.cols(), "matmul_bt_rows_into: inner dimension mismatch");  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
+  require(lo <= hi && hi <= a.rows(), "matmul_bt_rows_into: row range out of bounds");  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
+  require(&c != &a && &c != &b, "matmul_bt_rows_into: output aliases an input");  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
   const std::size_t k = a.cols(), nb = b.rows();
   c.resize(hi - lo, nb);
   if (hi == lo || nb == 0) return;
@@ -335,8 +335,8 @@ void matmul_bt_rows_into(Matrix& c, const Matrix& a, std::size_t lo,
 }
 
 void sub_rowvec_into(Matrix& out, const Matrix& a, std::span<const double> v) {
-  require(v.size() == a.cols(), "sub_rowvec_into: width mismatch");
-  require(&out != &a, "sub_rowvec_into: output aliases the input");
+  require(v.size() == a.cols(), "sub_rowvec_into: width mismatch");  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
+  require(&out != &a, "sub_rowvec_into: output aliases the input");  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
   out.resize(a.rows(), a.cols());
   for (std::size_t i = 0; i < a.rows(); ++i) {
     const double* r = a.data() + i * a.cols();
@@ -346,7 +346,7 @@ void sub_rowvec_into(Matrix& out, const Matrix& a, std::span<const double> v) {
 }
 
 void add_rowvec_inplace(Matrix& a, std::span<const double> v) {
-  require(v.size() == a.cols(), "add_rowvec_inplace: width mismatch");
+  require(v.size() == a.cols(), "add_rowvec_inplace: width mismatch");  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
   for (std::size_t i = 0; i < a.rows(); ++i) {
     double* r = a.data() + i * a.cols();
     for (std::size_t j = 0; j < a.cols(); ++j) r[j] += v[j];
@@ -367,7 +367,7 @@ namespace kernels {
 
 void row_sq_norms(const Matrix& a, std::size_t lo, std::size_t hi,
                   std::vector<double>& out) {
-  require(lo <= hi && hi <= a.rows(), "row_sq_norms: row range out of bounds");
+  require(lo <= hi && hi <= a.rows(), "row_sq_norms: row range out of bounds");  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
   out.resize(hi - lo);
   for (std::size_t i = lo; i < hi; ++i) {
     auto r = a.row(i);
@@ -378,7 +378,7 @@ void row_sq_norms(const Matrix& a, std::size_t lo, std::size_t hi,
 }
 
 double dot_canonical(std::span<const double> a, std::span<const double> b) {
-  require(a.size() == b.size(), "dot_canonical: length mismatch");
+  require(a.size() == b.size(), "dot_canonical: length mismatch");  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
   double s = 0.0;
   for (std::size_t p = 0; p < a.size(); ++p) s = madd(a[p], b[p], s);
   return s;

@@ -56,7 +56,7 @@ std::vector<double> Matrix::col_vec(std::size_t c) const {
 }
 
 void Matrix::set_row(std::size_t r, std::span<const double> v) {
-  require(v.size() == cols_, "Matrix::set_row: width mismatch");
+  require(v.size() == cols_, "Matrix::set_row: width mismatch");  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
   std::copy(v.begin(), v.end(), row(r).begin());
 }
 

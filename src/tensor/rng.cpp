@@ -56,7 +56,7 @@ double Rng::normal(double mean, double stddev) {
 }
 
 std::int64_t Rng::randint(std::int64_t lo, std::int64_t hi) {
-  require(lo <= hi, "Rng::randint: empty range");
+  require(lo <= hi, "Rng::randint: empty range");  // cnd-throw-ok(precondition on caller-supplied shapes/arguments — programmer error, not traffic)
   // Two's-complement wrap makes `span` the count of values in [lo, hi];
   // span == 0 encodes the full 2^64 range (every word is acceptable).
   const std::uint64_t span = static_cast<std::uint64_t>(hi) -

@@ -1,0 +1,162 @@
+// Negative snapshot tests across the whole detector registry: a truncated
+// stream, another detector's bytes, or a bit-flipped payload must throw
+// cleanly from restore() — and must not half-mutate the detector. The
+// checksummed envelope (io::binary v2) is what makes the bit-flip sweep
+// airtight: the payload is buffered and verified before any member moves.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/detector_factory.hpp"
+#include "io/binary.hpp"
+#include "tensor/rng.hpp"
+
+namespace cnd {
+namespace {
+
+Matrix gaussian(Rng& rng, std::size_t n, std::size_t d, double shift = 0.0) {
+  Matrix x(n, d);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < d; ++j)
+      x(i, j) = rng.normal(j == 0 ? shift : 0.0, 1.0);
+  return x;
+}
+
+/// Small-but-real training config so every detector trains in milliseconds.
+core::DetectorConfig tiny_cfg(std::uint64_t seed = 17) {
+  core::DetectorConfig cfg;
+  cfg.seed = seed;
+  cfg.cnd.seed = seed;
+  cfg.cnd.cfe.hidden_dim = 16;
+  cfg.cnd.cfe.latent_dim = 8;
+  cfg.cnd.cfe.epochs = 2;
+  cfg.cnd.cfe.kmeans_k = 2;
+  return cfg;
+}
+
+struct Trained {
+  std::string name;
+  std::string bytes;            // the valid snapshot artifact
+  std::vector<double> want;     // scores of the trainer on x_test
+};
+
+/// Trains every supports_snapshot() registry detector once and snapshots it.
+/// The sweep below runs against this list, so a new snapshot-capable
+/// detector is covered the day it lands in the registry.
+std::vector<Trained> train_capable(const Matrix& n_clean, const Matrix& stream,
+                                   const Matrix& x_test) {
+  std::vector<Trained> out;
+  for (const std::string& name : core::detector_names()) {
+    auto det = core::make_detector(name, tiny_cfg());
+    if (!det->supports_snapshot()) continue;
+    Matrix seed_x;
+    std::vector<int> seed_y;
+    det->setup(core::SetupContext{n_clean, seed_x, seed_y});
+    det->observe_experience(stream);
+    std::ostringstream os(std::ios::binary);
+    det->snapshot(os);
+    out.push_back({name, std::move(os).str(), det->score(x_test)});
+  }
+  return out;
+}
+
+void expect_restore_throws(const std::string& name, const std::string& bytes) {
+  auto replica = core::make_detector(name, tiny_cfg());
+  std::istringstream is(bytes, std::ios::binary);
+  EXPECT_THROW(replica->restore(is), std::exception) << name;
+}
+
+TEST(SnapshotFuzz, Fnv1a64MatchesReferenceVectors) {
+  // Standard FNV-1a 64-bit test vectors.
+  EXPECT_EQ(io::fnv1a64("", 0), 0xcbf29ce484222325ull);
+  EXPECT_EQ(io::fnv1a64("a", 1), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(io::fnv1a64("foobar", 6), 0x85944171f73967e8ull);
+}
+
+TEST(SnapshotFuzz, TruncatedStreamThrowsAtEveryCut) {
+  Rng rng(5);
+  const Matrix n_clean = gaussian(rng, 96, 6);
+  const Matrix stream = gaussian(rng, 64, 6, 0.5);
+  const Matrix x_test = gaussian(rng, 48, 6, 2.0);
+  const auto capable = train_capable(n_clean, stream, x_test);
+  ASSERT_GE(capable.size(), 2u);  // CND-IDS and Adaptive at minimum
+
+  for (const Trained& t : capable) {
+    ASSERT_GT(t.bytes.size(), 16u) << t.name;
+    // Cuts through every region: empty, mid-header, mid-tag, mid-payload,
+    // and one byte short of complete (drops into the checksum field).
+    const std::size_t cuts[] = {0, 3, 11, t.bytes.size() / 2,
+                                t.bytes.size() - 1};
+    for (const std::size_t cut : cuts) {
+      SCOPED_TRACE(t.name + " cut at " + std::to_string(cut));
+      expect_restore_throws(t.name, t.bytes.substr(0, cut));
+    }
+  }
+}
+
+TEST(SnapshotFuzz, WrongDetectorTagThrowsForEveryPair) {
+  Rng rng(6);
+  const Matrix n_clean = gaussian(rng, 96, 6);
+  const Matrix stream = gaussian(rng, 64, 6, 0.5);
+  const Matrix x_test = gaussian(rng, 48, 6, 2.0);
+  const auto capable = train_capable(n_clean, stream, x_test);
+  ASSERT_GE(capable.size(), 2u);
+
+  for (const Trained& src : capable)
+    for (const Trained& dst : capable) {
+      if (src.name == dst.name) continue;
+      SCOPED_TRACE(src.name + " bytes into " + dst.name);
+      expect_restore_throws(dst.name, src.bytes);
+    }
+}
+
+TEST(SnapshotFuzz, BitFlippedPayloadThrowsEverywhere) {
+  Rng rng(7);
+  const Matrix n_clean = gaussian(rng, 96, 6);
+  const Matrix stream = gaussian(rng, 64, 6, 0.5);
+  const Matrix x_test = gaussian(rng, 48, 6, 2.0);
+  const auto capable = train_capable(n_clean, stream, x_test);
+  ASSERT_GE(capable.size(), 2u);
+
+  for (const Trained& t : capable) {
+    // A single flipped bit anywhere — header, tag, length, payload, or
+    // checksum — must be rejected. Stride keeps the sweep fast while still
+    // hitting every field of the envelope.
+    for (std::size_t pos = 0; pos < t.bytes.size(); pos += 7) {
+      std::string corrupt = t.bytes;
+      corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x10);
+      SCOPED_TRACE(t.name + " flip at byte " + std::to_string(pos));
+      expect_restore_throws(t.name, corrupt);
+    }
+  }
+}
+
+TEST(SnapshotFuzz, FailedRestoreDoesNotClobberAReplica) {
+  Rng rng(8);
+  const Matrix n_clean = gaussian(rng, 96, 6);
+  const Matrix stream = gaussian(rng, 64, 6, 0.5);
+  const Matrix x_test = gaussian(rng, 48, 6, 2.0);
+  const auto capable = train_capable(n_clean, stream, x_test);
+  ASSERT_GE(capable.size(), 2u);
+
+  for (const Trained& t : capable) {
+    auto replica = core::make_detector(t.name, tiny_cfg());
+    {
+      std::istringstream is(t.bytes, std::ios::binary);
+      replica->restore(is);
+    }
+    // A later corrupt restore throws before touching any member, so the
+    // replica keeps serving the state it had.
+    std::string corrupt = t.bytes;
+    corrupt[corrupt.size() / 2] = static_cast<char>(corrupt[corrupt.size() / 2] ^ 0x04);
+    std::istringstream is(corrupt, std::ios::binary);
+    EXPECT_THROW(replica->restore(is), std::exception) << t.name;
+    EXPECT_EQ(replica->score(x_test), t.want) << t.name;
+  }
+}
+
+}  // namespace
+}  // namespace cnd

@@ -1,0 +1,22 @@
+// cnd-analyze-path: src/ml/stats.cpp
+// cnd-analyze-expect: snapshot-completeness
+// Delete-a-member regression: scale_ is written by snapshot() but the
+// restore() side was never updated — a restored replica diverges.
+namespace cnd::ml {
+
+class Stats {
+ public:
+  void snapshot(std::ostream& os) const {
+    write_f64(os, center_);
+    write_f64(os, scale_);
+  }
+  void restore(std::istream& is) {
+    center_ = read_f64(is);
+  }
+
+ private:
+  double center_ = 0.0;
+  double scale_ = 1.0;
+};
+
+}  // namespace cnd::ml

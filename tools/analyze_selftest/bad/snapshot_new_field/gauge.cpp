@@ -1,0 +1,17 @@
+// cnd-analyze-path: src/ml/gauge.cpp
+// cnd-analyze-expect: snapshot-completeness
+// Add-a-field regression: bias_ was added after the snapshot format was
+// written and appears in neither body.
+namespace cnd::ml {
+
+class Gauge {
+ public:
+  void snapshot(std::ostream& os) const { write_f64(os, level_); }
+  void restore(std::istream& is) { level_ = read_f64(is); }
+
+ private:
+  double level_ = 0.0;
+  double bias_ = 0.0;
+};
+
+}  // namespace cnd::ml

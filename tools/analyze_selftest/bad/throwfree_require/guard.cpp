@@ -1,0 +1,13 @@
+// cnd-analyze-path: src/ml/guard.cpp
+// cnd-analyze-expect: throw-free-hot
+// require() throws std::invalid_argument — unvouched, it can abort a
+// batch mid-stream from the hot root.
+namespace cnd::ml {
+
+// cnd-hot
+double score(double x) {
+  require(x >= 0.0, "score: negative input");
+  return x * 2.0;
+}
+
+}  // namespace cnd::ml

@@ -1,0 +1,12 @@
+// cnd-analyze-path: src/ml/abort.cpp
+// cnd-analyze-expect: throw-free-hot
+// A hot root that throws directly: a shard worker would abort the batch.
+namespace cnd::ml {
+
+// cnd-hot
+double score(double x) {
+  if (x < 0.0) throw std::runtime_error("negative input");
+  return x * 2.0;
+}
+
+}  // namespace cnd::ml

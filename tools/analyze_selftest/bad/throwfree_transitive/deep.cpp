@@ -1,0 +1,16 @@
+// cnd-analyze-path: src/ml/deep.cpp
+// cnd-analyze-expect: throw-free-hot
+// The throw is two calls below the hot root; reachability still finds it.
+namespace cnd::ml {
+
+double inner(double x) {
+  if (x != x) throw std::runtime_error("nan input");
+  return x;
+}
+
+double middle(double x) { return inner(x) + 1.0; }
+
+// cnd-hot
+double score(double x) { return middle(x) * 2.0; }
+
+}  // namespace cnd::ml

@@ -1,0 +1,21 @@
+// cnd-analyze-path: src/ml/model.cpp
+// Every data member is referenced in both snapshot() and restore().
+namespace cnd::ml {
+
+class Model {
+ public:
+  void snapshot(std::ostream& os) const {
+    write_f64(os, center_);
+    write_f64(os, scale_);
+  }
+  void restore(std::istream& is) {
+    center_ = read_f64(is);
+    scale_ = read_f64(is);
+  }
+
+ private:
+  double center_ = 0.0;
+  double scale_ = 1.0;
+};
+
+}  // namespace cnd::ml

@@ -1,0 +1,15 @@
+// cnd-analyze-path: src/ml/probe.cpp
+// A class with only a snapshot() dump and no restore() is not a
+// snapshot/restore pair — the completeness rule does not apply.
+namespace cnd::ml {
+
+class Probe {
+ public:
+  void snapshot(std::ostream& os) const { write_f64(os, level_); }
+
+ private:
+  double level_ = 0.0;
+  double scratch_ = 0.0;
+};
+
+}  // namespace cnd::ml

@@ -1,0 +1,16 @@
+// cnd-analyze-path: src/ml/cache.cpp
+// A scratch member vouched out of the snapshot contract with
+// `// cnd-snapshot: skip(<reason>)`.
+namespace cnd::ml {
+
+class Cache {
+ public:
+  void snapshot(std::ostream& os) const { write_f64(os, center_); }
+  void restore(std::istream& is) { center_ = read_f64(is); }
+
+ private:
+  double center_ = 0.0;
+  double scratch_ = 0.0;  // cnd-snapshot: skip(recomputed on every batch)
+};
+
+}  // namespace cnd::ml

@@ -1,0 +1,18 @@
+// cnd-analyze-path: src/ml/timed.cpp
+// A telemetry helper vouched with a header `// cnd-det-ok(<reason>)`:
+// descent stops at the barrier, so the hot root stays clean.
+namespace cnd::ml {
+
+// cnd-det-ok(write-only telemetry — never feeds a result)
+double now_ms() {
+  return static_cast<double>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+// cnd-hot
+double score(double x) {
+  record_latency(now_ms());
+  return x * 2.0;
+}
+
+}  // namespace cnd::ml

@@ -1,0 +1,19 @@
+// cnd-analyze-path: src/ml/adapt.cpp
+// An `// cnd-alloc-ok` function is vouched off the allocation-free steady
+// state, so the throw-free walk stops there too: an allocating path can
+// already throw bad_alloc, and the no-throw contract binds only the
+// steady state the alloc rule proves.
+namespace cnd::ml {
+
+// cnd-alloc-ok(adaptation round — off the steady-state batch path)
+void adapt(double x) {
+  if (x < 0.0) throw std::runtime_error("bad adaptation input");
+}
+
+// cnd-hot
+double score(double x) {
+  adapt(x);
+  return x * 2.0;
+}
+
+}  // namespace cnd::ml

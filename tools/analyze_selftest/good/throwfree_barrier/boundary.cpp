@@ -1,0 +1,17 @@
+// cnd-analyze-path: src/ml/boundary.cpp
+// A guard helper vouched with a header `// cnd-throw-ok(<reason>)`:
+// descent stops, so its require() does not taint the hot root.
+namespace cnd::ml {
+
+// cnd-throw-ok(batch-boundary guard — validates once before the batch runs)
+void check_batch(double x) {
+  require(x >= 0.0, "check_batch: negative input");
+}
+
+// cnd-hot
+double score(double x) {
+  check_batch(x);
+  return x * 2.0;
+}
+
+}  // namespace cnd::ml

@@ -1,0 +1,12 @@
+// cnd-analyze-path: src/ml/checked.cpp
+// A batch-boundary precondition waived at the site with a trailing
+// `// cnd-throw-ok(<reason>)`.
+namespace cnd::ml {
+
+// cnd-hot
+double score(double x) {
+  require(x >= 0.0, "score: negative input");  // cnd-throw-ok(batch-boundary shape guard)
+  return x * 2.0;
+}
+
+}  // namespace cnd::ml

@@ -46,6 +46,13 @@
 #                   orthogonal parallelism axis inside each shard. With
 #                   TSAN_BUILD_DIR set the TSan tree's 4-shard dump must
 #                   match too.
+#   STATIC_SWEEP=0  opt out of the static determinism proof (on by default):
+#                   cnd_analyze's determinism-taint rule is the
+#                   compile-time-adjacent counterpart of the byte diffs
+#                   above — no output root may reach a nondeterminism
+#                   source. Consumes the analyzer's --json one-line summary;
+#                   skips gracefully (with a note) when the analyzer binary
+#                   or compile_commands.json is not in BUILD_DIR.
 #
 # Exit 0 when every comparison matches and the metrics JSONL is well-formed,
 # 1 otherwise.
@@ -399,6 +406,32 @@ if [ "${FULL_REGISTRY:-0}" = "1" ]; then
       status=1
     fi
   done
+fi
+
+# Static determinism proof (on by default; STATIC_SWEEP=0 opts out): the
+# runtime byte-diffs above sample; the determinism-taint reachability scan
+# proves. A graceful skip keeps bench-only invocations (custom BUILD_DIR
+# without the tools targets) working.
+if [ "${STATIC_SWEEP:-1}" = "1" ]; then
+  ROOT_DIR=$(cd "$(dirname "$0")/.." && pwd)
+  ANALYZE="${BUILD_DIR}/tools/cnd_analyze"
+  CDB="${BUILD_DIR}/compile_commands.json"
+  if [ ! -x "${ANALYZE}" ] || [ ! -f "${CDB}" ]; then
+    echo "SKIP static determinism-taint scan ('${ANALYZE}' or '${CDB}' missing)"
+  else
+    echo "== cnd_analyze --rule=determinism-taint --json"
+    summary=$("${ANALYZE}" --compile-commands "${CDB}" --root "${ROOT_DIR}" \
+        --rule=determinism-taint --json 2> /dev/null | tail -1) || true
+    case "${summary}" in
+      *'"findings":0,'*)
+        echo "OK   static determinism-taint scan clean: ${summary}"
+        ;;
+      *)
+        echo "FAIL static determinism-taint scan: ${summary:-analyzer produced no summary}"
+        status=1
+        ;;
+    esac
+  fi
 fi
 
 exit ${status}

@@ -32,13 +32,31 @@
 //                        including through followed calls); any cycle —
 //                        an ABBA inversion or a re-acquisition of a held
 //                        mutex — is a finding.
+//   snapshot-completeness
+//                        every class that implements both snapshot() and
+//                        restore() must reference each of its data members
+//                        in *both* bodies, or carry a
+//                        `// cnd-snapshot: skip(<reason>)` annotation on the
+//                        member — the add-a-field-forget-to-serialize bug.
+//   determinism-taint    nothing reachable from an output root (cnd-hot /
+//                        cnd-wait-free scoring, snapshot streams, CSV/JSONL
+//                        writers) may read a nondeterminism source (wall
+//                        clocks, pointer→integer casts, std::hash over a
+//                        pointer, thread ids, unordered-container types)
+//                        except through `// cnd-det-ok(<reason>)` barriers.
+//   throw-free-hot       `// cnd-hot` roots must not reach `throw` or
+//                        `require()` — a shard worker must not abort a
+//                        batch mid-stream — except through
+//                        `// cnd-throw-ok(<reason>)` barriers.
 //
 // Findings print as `file:line: rule: message`, one per line, to stdout.
 // A finding on a specific line can be waived with a trailing
 // `// cnd-analyze: allow(rule)` comment, mirroring cnd_lint's escape hatch.
-// Exit status: 0 clean, 1 findings (or self-test mismatch), 2 usage/IO
-// error. See docs/STATIC_ANALYSIS.md for the annotation language and the
-// limits of the heuristics.
+// `--sarif <file>` additionally writes the findings as SARIF 2.1.0 for CI
+// upload; `--rule=<name>` restricts the scan to one rule; `--json` appends a
+// one-line machine-readable summary. Exit status: 0 clean, 1 findings (or
+// self-test mismatch), 2 usage/IO error. See docs/STATIC_ANALYSIS.md for
+// the annotation language and the limits of the heuristics.
 //
 // Usage:
 //   cnd_analyze --compile-commands build/compile_commands.json --root .
@@ -93,6 +111,9 @@ struct Annotations {
   std::set<int> wait_free_lines;                 // `cnd-wait-free`
   std::map<int, std::string> alloc_ok_lines;     // `cnd-alloc-ok(reason)`
   std::map<int, std::string> block_ok_lines;     // `cnd-block-ok(reason)`
+  std::map<int, std::string> det_ok_lines;       // `cnd-det-ok(reason)`
+  std::map<int, std::string> throw_ok_lines;     // `cnd-throw-ok(reason)`
+  std::map<int, std::string> snapshot_skips;     // `cnd-snapshot: skip(r)`
   std::map<int, std::set<std::string>> allows;   // `cnd-analyze: allow(r)`
   std::string fixture_path;                      // `cnd-analyze-path: p`
   std::set<std::string> expects;                 // `cnd-analyze-expect: r`
@@ -153,6 +174,15 @@ void scan_comment(std::string_view text, int line, Annotations& ann) {
     ann.alloc_ok_lines[line] = paren_payload(text, at);
   if (has_marker(text, "cnd-block-ok", &at))
     ann.block_ok_lines[line] = paren_payload(text, at);
+  if (has_marker(text, "cnd-det-ok", &at))
+    ann.det_ok_lines[line] = paren_payload(text, at);
+  if (has_marker(text, "cnd-throw-ok", &at))
+    ann.throw_ok_lines[line] = paren_payload(text, at);
+  if ((at = text.find("cnd-snapshot:")) != std::string_view::npos) {
+    const std::size_t skip_at = text.find("skip", at);
+    if (skip_at != std::string_view::npos)
+      ann.snapshot_skips[line] = paren_payload(text, skip_at);
+  }
   if ((at = text.find("cnd-analyze:")) != std::string_view::npos) {
     std::size_t allow_at = text.find("allow", at);
     if (allow_at != std::string_view::npos) {
@@ -312,6 +342,24 @@ struct BlockSite {
   int line = 0;
 };
 
+/// A site that can unwind: a `throw` expression or a `require()` precondition
+/// check (which throws std::invalid_argument on failure). CND_ASSERT /
+/// CND_DCHECK are macros and stay invisible to the token stream — by design:
+/// dchecks vanish in Release, and CND_ASSERT marks programmer errors, not
+/// data-dependent batch aborts.
+struct ThrowSite {
+  std::string what;
+  int line = 0;
+};
+
+/// A read of something the determinism contract forbids in any result:
+/// wall clocks, pointer→integer casts, pointer hashing, thread ids,
+/// unordered-container iteration order.
+struct TaintSite {
+  std::string what;
+  int line = 0;
+};
+
 /// One entry of a function's ordered concurrency-event stream, replayed by
 /// the lock-order check to know which mutexes are held at each point.
 struct ConcEvent {
@@ -339,10 +387,31 @@ struct FuncDef {
   std::string alloc_reason;
   bool block_ok = false;           // `// cnd-block-ok(reason)` barrier
   std::string block_reason;
+  bool det_ok = false;             // `// cnd-det-ok(reason)` barrier
+  std::string det_reason;
+  bool throw_ok = false;           // `// cnd-throw-ok(reason)` barrier
+  std::string throw_reason;
   std::vector<CallSite> calls;
   std::vector<AllocSite> allocs;
   std::vector<BlockSite> blocks;
+  std::vector<ThrowSite> throws;
+  std::vector<TaintSite> taints;
   std::vector<ConcEvent> events;
+  std::set<std::string> idents;    // every identifier in the body
+};
+
+/// One data member of a parsed class definition (snapshot-completeness).
+struct MemberVar {
+  std::string name;
+  int line = 0;
+};
+
+struct ClassInfo {
+  std::vector<std::string> qname;  // {"cnd","core","CndIds"}
+  std::string display;             // qname joined with "::"
+  int file = -1;
+  int line = 0;
+  std::vector<MemberVar> members;
 };
 
 struct FileInfo {
@@ -354,6 +423,7 @@ struct FileInfo {
 struct Model {
   std::vector<FileInfo> files;
   std::vector<FuncDef> defs;
+  std::vector<ClassInfo> classes;
   std::multimap<std::string, std::size_t> by_terminal;
 
   void index() {
@@ -412,6 +482,36 @@ const std::set<std::string>& alloc_idents() {
   return a;
 }
 
+/// C-level wall-clock reads (determinism-taint sources). `X::now()` reads
+/// are matched structurally instead — any qualifier ending in "clock".
+const std::set<std::string>& clock_fn_names() {
+  static const std::set<std::string> c = {"clock_gettime", "gettimeofday",
+                                          "timespec_get", "ftime",
+                                          "__rdtsc", "_rdtsc"};
+  return c;
+}
+
+/// Integer targets that make a `reinterpret_cast` a pointer-to-integer
+/// conversion (the only cast form that turns an address into data).
+const std::set<std::string>& int_type_names() {
+  static const std::set<std::string> t = {
+      "uintptr_t", "intptr_t", "size_t",   "ptrdiff_t", "uintmax_t",
+      "intmax_t",  "uint64_t", "int64_t",  "uint32_t",  "int32_t",
+      "uint16_t",  "int16_t",  "unsigned", "int",       "long",
+      "short"};
+  return t;
+}
+
+/// Containers whose iteration order is unspecified (determinism-taint
+/// sources). Any appearance in a det-rooted call tree is flagged — a
+/// token-level scan cannot prove the container is never iterated.
+const std::set<std::string>& unordered_container_names() {
+  static const std::set<std::string> u = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset", "unordered_flat_map", "unordered_flat_set"};
+  return u;
+}
+
 // ---------------------------------------------------------------------------
 // Heuristic parser
 // ---------------------------------------------------------------------------
@@ -430,6 +530,8 @@ class Parser {
  private:
   struct Scope {
     std::vector<std::string> comps;  // may be empty (anonymous)
+    bool is_class = false;           // class/struct/union body
+    std::size_t class_idx = 0;       // into Model::classes when is_class
   };
 
   const std::vector<Tok>& toks() const {
@@ -476,6 +578,7 @@ class Parser {
         continue;
       }
       if (t.text == ";" && depth == 0) {
+        maybe_member(head);  // class-scope declaration → data member?
         ++i_;
         return;  // declaration / expression statement at scope level
       }
@@ -570,6 +673,19 @@ class Parser {
         if (t.text == "::") continue;
         if (t.kind == Tk::Punct && t.text != "::") break;
       }
+      if (!s.comps.empty()) {
+        ClassInfo ci;
+        ci.file = file_;
+        ci.line = at(head[0]).line;
+        for (const Scope& sc : scopes_)
+          for (const std::string& c : sc.comps) ci.qname.push_back(c);
+        for (const std::string& c : s.comps) ci.qname.push_back(c);
+        for (std::size_t q = 0; q < ci.qname.size(); ++q)
+          ci.display += (q ? "::" : "") + ci.qname[q];
+        s.is_class = true;
+        s.class_idx = model_.classes.size();
+        model_.classes.push_back(std::move(ci));
+      }
       scopes_.push_back(std::move(s));
       ++i_;
       return;
@@ -592,7 +708,10 @@ class Parser {
       }
     }
     // Initializer, lambda assignment, or something we don't model: swallow
-    // the braces, then the rest of the statement.
+    // the braces, then the rest of the statement. At class scope a
+    // brace-initialized data member (`std::atomic<u64> swaps_{0};`) lands
+    // here — record it before swallowing the initializer.
+    maybe_member(head);
     skip_balanced("{", "}");
     int d2 = 0;
     while (i_ < n_) {
@@ -610,6 +729,69 @@ class Parser {
       if (t == ")" || t == "]") --d2;
       ++i_;
     }
+  }
+
+  /// At class scope, decide whether a `;`- or `{`-terminated statement head
+  /// declares a data member, and if so record it on the enclosing
+  /// ClassInfo. Heuristic: drop default initializers (`= …`), trailing
+  /// thread-safety attribute macros (`CND_GUARDED_BY(mu_)`) and array
+  /// bounds; what remains must be `Type name` with no parameter list.
+  /// Function declarations, using/typedef/friend/static statements, and
+  /// nested type declarations are rejected. Bitfields and function-pointer
+  /// members are unmodeled (none exist in the tree).
+  void maybe_member(const std::vector<std::size_t>& head) {
+    if (scopes_.empty() || !scopes_.back().is_class || head.empty()) return;
+    static const std::set<std::string> skip_lead = {
+        "using",    "typedef",  "friend",    "static",    "inline",
+        "template", "explicit", "virtual",   "operator",  "enum",
+        "class",    "struct",   "union",     "public",    "private",
+        "protected", "constexpr", "consteval", "constinit", "extern"};
+    if (skip_lead.count(at(head[0]).text)) return;
+    // Truncate at the first top-level `=` (default member initializer).
+    std::vector<std::size_t> h;
+    int depth = 0;
+    for (std::size_t k : head) {
+      const std::string& t = at(k).text;
+      if (t == "operator") return;  // any operator form is a function
+      if (t == "(" || t == "[") ++depth;
+      if (t == ")" || t == "]") --depth;
+      if (depth == 0 && t == "=") break;
+      h.push_back(k);
+    }
+    // Strip trailing `CND_*(…)` attribute groups and `[N]` array bounds.
+    while (!h.empty()) {
+      const std::string& last = at(h.back()).text;
+      if (last == ")" || last == "]") {
+        const std::string open = last == ")" ? "(" : "[";
+        const std::string close = last;
+        int d = 0;
+        std::size_t j = h.size();
+        while (j > 0) {
+          --j;
+          const std::string& t = at(h[j]).text;
+          if (t == close) ++d;
+          if (t == open && --d == 0) break;
+        }
+        if (d != 0 || j == 0) return;
+        if (last == ")") {
+          const Tok& before = at(h[j - 1]);
+          if (before.kind != Tk::Ident || before.text.rfind("CND_", 0) != 0)
+            return;  // a real parameter list: function declaration
+          h.resize(j - 1);
+        } else {
+          h.resize(j);
+        }
+        continue;
+      }
+      break;
+    }
+    if (h.size() < 2) return;  // need at least `Type name`
+    for (std::size_t k : h)
+      if (at(k).text == "(") return;  // `T f() const;` and friends
+    const Tok& nm = at(h.back());
+    if (nm.kind != Tk::Ident || keywords_not_calls().count(nm.text)) return;
+    model_.classes[scopes_.back().class_idx].members.push_back(
+        {nm.text, nm.line});
   }
 
   /// Is the token before head[k] (a top-level `(`) the end of a function
@@ -693,6 +875,16 @@ class Parser {
         def.block_ok = true;
         def.block_reason = bo->second;
       }
+      auto det = ann().det_ok_lines.find(ln);
+      if (det != ann().det_ok_lines.end()) {
+        def.det_ok = true;
+        def.det_reason = det->second;
+      }
+      auto th = ann().throw_ok_lines.find(ln);
+      if (th != ann().throw_ok_lines.end()) {
+        def.throw_ok = true;
+        def.throw_reason = th->second;
+      }
     }
 
     // Body: everything from the matching `)` of the parameter list to the
@@ -725,7 +917,10 @@ class Parser {
           def.events.push_back(
               {ConcEvent::kClose, std::string{}, t.line, depth, 0});
       }
-      if (t.kind == Tk::Ident) record_ident(def, depth);
+      if (t.kind == Tk::Ident) {
+        def.idents.insert(t.text);
+        record_ident(def, depth);
+      }
       ++i_;
     }
   }
@@ -856,6 +1051,86 @@ class Parser {
     }
     if (io_stream_types().count(t.text)) {
       def.blocks.push_back({"file stream '" + t.text + "'", t.line});
+      return;
+    }
+    // `throw` expressions and `require()` precondition checks unwind —
+    // throw-free-hot sites. `require` is recorded as a site, not a call
+    // edge: every require() funnels into one definition in
+    // src/tensor/assert.hpp, and descending there would collapse every
+    // violation onto that single `throw`.
+    if (t.text == "throw") {
+      def.throws.push_back({"'throw' expression", t.line});
+      return;
+    }
+    if (t.text == "require" && is(i_ + 1, "(") &&
+        !(i_ >= 1 && (at(i_ - 1).text == "." || at(i_ - 1).text == "->"))) {
+      def.throws.push_back({"'require()' precondition check", t.line});
+      return;
+    }
+    // Determinism-taint sources. A `X::now()` read only taints when X looks
+    // like a clock; `Timer::now()`-style wrappers are followed as ordinary
+    // calls instead, so the taint is reported inside the wrapper.
+    if (t.text == "now" && is(i_ + 1, "(") && i_ >= 2 &&
+        at(i_ - 1).text == "::" && at(i_ - 2).kind == Tk::Ident) {
+      const std::string& q = at(i_ - 2).text;
+      std::string tail = q.size() >= 5 ? q.substr(q.size() - 5) : q;
+      for (char& ch : tail) ch = ch >= 'A' && ch <= 'Z' ? char(ch + 32) : ch;
+      if (tail == "clock") {
+        def.taints.push_back({"wall-clock read '" + q + "::now()'", t.line});
+        return;
+      }
+    }
+    if (clock_fn_names().count(t.text) && is(i_ + 1, "(")) {
+      def.taints.push_back({"wall-clock read '" + t.text + "()'", t.line});
+      return;
+    }
+    if (t.text == "get_id" && is(i_ + 1, "(") && i_ >= 1 &&
+        (at(i_ - 1).text == "::" || at(i_ - 1).text == "." ||
+         at(i_ - 1).text == "->")) {
+      def.taints.push_back({"thread id 'get_id()'", t.line});
+      return;
+    }
+    if (t.text == "reinterpret_cast" && is(i_ + 1, "<")) {
+      // reinterpret_cast to an integer type is only valid from a pointer —
+      // the address becomes data. Casts whose target mentions `*` or `&`
+      // (pointer/reference targets, e.g. the byte views in src/io) carry no
+      // address value into results.
+      bool has_int = false, has_ptr = false;
+      int ad = 0;
+      for (std::size_t p = i_ + 1; p < n_; ++p) {
+        const Tok& a = at(p);
+        if (a.text == "<") ++ad;
+        else if (a.text == ">" && --ad == 0) break;
+        else if (a.text == "*" || a.text == "&") has_ptr = true;
+        else if (a.kind == Tk::Ident && int_type_names().count(a.text))
+          has_int = true;
+      }
+      if (has_int && !has_ptr)
+        def.taints.push_back(
+            {"pointer-to-integer 'reinterpret_cast' (addresses vary per run)",
+             t.line});
+      return;
+    }
+    if (t.text == "hash" && is(i_ + 1, "<") && i_ >= 1 &&
+        at(i_ - 1).text == "::") {
+      bool has_ptr = false;
+      int ad = 0;
+      for (std::size_t p = i_ + 1; p < n_; ++p) {
+        const Tok& a = at(p);
+        if (a.text == "<") ++ad;
+        else if (a.text == ">" && --ad == 0) break;
+        else if (a.text == "*") has_ptr = true;
+      }
+      if (has_ptr)
+        def.taints.push_back(
+            {"'std::hash' over a pointer type (addresses vary per run)",
+             t.line});
+      return;
+    }
+    if (unordered_container_names().count(t.text)) {
+      def.taints.push_back(
+          {"unordered container '" + t.text +
+           "' (iteration order is unspecified)", t.line});
       return;
     }
     if (t.text == "new") {
@@ -1294,6 +1569,160 @@ void check_rng_confinement(const Model& m, std::vector<Finding>& out) {
   }
 }
 
+/// Site-level `// cnd-det-ok(reason)` / `// cnd-throw-ok(reason)` waivers:
+/// on the site's line or the line above (the same convention as block-ok).
+bool site_marked(const std::map<int, std::string>& lines, int line) {
+  return lines.count(line) > 0 || lines.count(line - 1) > 0;
+}
+
+/// Do `class_q` (a class definition) and `def_q` (a member function
+/// definition, terminal stripped by the caller) name the same class? The
+/// shorter qualified name must be a component-wise suffix of the longer —
+/// an out-of-line `cnd::core::CndIds::snapshot` matches the in-class
+/// definition of `CndIds` seen under namespace scopes.
+bool owner_matches(const std::vector<std::string>& class_q,
+                   const std::vector<std::string>& owner_q) {
+  if (class_q.empty() || owner_q.empty()) return false;
+  const std::size_t n = std::min(class_q.size(), owner_q.size());
+  for (std::size_t k = 0; k < n; ++k)
+    if (class_q[class_q.size() - 1 - k] != owner_q[owner_q.size() - 1 - k])
+      return false;
+  return true;
+}
+
+/// snapshot-completeness: every class implementing both snapshot() and
+/// restore() must reference each data member in *both* bodies (a direct
+/// identifier mention — helpers that serialize a member wholesale should
+/// keep the member name visible in the caller) or carry a
+/// `// cnd-snapshot: skip(<reason>)` on or above the member's line.
+void check_snapshot_completeness(const Model& m, std::vector<Finding>& out) {
+  const std::string rule = "snapshot-completeness";
+  for (const ClassInfo& ci : m.classes) {
+    const FuncDef* snap = nullptr;
+    const FuncDef* rest = nullptr;
+    for (const FuncDef& d : m.defs) {
+      const std::string& t = d.qname.back();
+      if ((t != "snapshot" && t != "restore") || d.qname.size() < 2) continue;
+      std::vector<std::string> owner(d.qname.begin(), d.qname.end() - 1);
+      if (!owner_matches(ci.qname, owner)) continue;
+      if (t == "snapshot") snap = &d;
+      else rest = &d;
+    }
+    if (snap == nullptr || rest == nullptr) continue;
+    const auto& skips =
+        m.files[static_cast<std::size_t>(ci.file)].ann.snapshot_skips;
+    for (const MemberVar& mv : ci.members) {
+      if (site_marked(skips, mv.line)) continue;
+      if (line_allowed(m, ci.file, mv.line, rule)) continue;
+      const bool in_snap = snap->idents.count(mv.name) > 0;
+      const bool in_rest = rest->idents.count(mv.name) > 0;
+      if (in_snap && in_rest) continue;
+      const std::string missing = !in_snap && !in_rest
+                                      ? "snapshot() or restore()"
+                                  : !in_snap ? "snapshot()"
+                                             : "restore()";
+      out.push_back(
+          {vpath_of(m, ci.file), mv.line, rule,
+           "data member '" + mv.name + "' of '" + ci.display +
+               "' is not referenced in " + missing +
+               " — a restored replica would diverge; serialize it or "
+               "annotate `// cnd-snapshot: skip(<reason>)`"});
+    }
+  }
+}
+
+/// Output roots of the determinism-taint check: the scoring hot paths, the
+/// wait-free admission/score paths, snapshot streams, and the CSV/JSONL
+/// writer entry points (by naming convention).
+bool det_taint_root(const FuncDef& d) {
+  if (d.hot || d.wait_free) return true;
+  const std::string& t = d.qname.back();
+  if (t == "snapshot" || t == "emit" || t == "emit_raw") return true;
+  if (t.rfind("write_", 0) == 0 || t.rfind("dump_", 0) == 0) return true;
+  return t == "save_artifact";
+}
+
+/// determinism-taint: nothing reachable from an output root may read a
+/// nondeterminism source. `// cnd-det-ok(reason)` on a function header
+/// vouches that whole subtree (descent stops — e.g. obs-gated telemetry
+/// that never feeds a result); on a site's line or the line above it waives
+/// just that site.
+void check_determinism_taint(const Model& m, std::vector<Finding>& out) {
+  const std::string rule = "determinism-taint";
+  std::set<std::pair<std::string, int>> reported;
+  for (std::size_t root = 0; root < m.defs.size(); ++root) {
+    if (!det_taint_root(m.defs[root]) || m.defs[root].det_ok) continue;
+    std::vector<std::size_t> stack = {root};
+    std::set<std::size_t> visited = {root};
+    while (!stack.empty()) {
+      const std::size_t cur = stack.back();
+      stack.pop_back();
+      const FuncDef& d = m.defs[cur];
+      for (const TaintSite& s : d.taints) {
+        const auto& ok =
+            m.files[static_cast<std::size_t>(d.file)].ann.det_ok_lines;
+        if (site_marked(ok, s.line)) continue;
+        if (line_allowed(m, d.file, s.line, rule)) continue;
+        if (!reported.insert({vpath_of(m, d.file), s.line}).second) continue;
+        out.push_back(
+            {vpath_of(m, d.file), s.line, rule,
+             "'" + d.display + "' (reachable from output root '" +
+                 m.defs[root].display + "') reads a nondeterminism source: " +
+                 s.what + " — results must be bit-stable; vouch with "
+                 "`// cnd-det-ok(<reason>)`"});
+      }
+      for (const CallSite& c : d.calls)
+        for (std::size_t cand : m.candidates(c)) {
+          if (m.defs[cand].det_ok) continue;  // vouched barrier
+          if (visited.insert(cand).second) stack.push_back(cand);
+        }
+    }
+  }
+}
+
+/// throw-free-hot: a `// cnd-hot` root must not reach a `throw` expression
+/// or a `require()` check — a shard worker aborting a batch mid-stream is a
+/// serving outage, not error handling. `// cnd-throw-ok(reason)` on a
+/// function header vouches that subtree (descent stops — e.g. a
+/// batch-boundary guard helper); on a site's line or the line above it
+/// waives just that site. The walk also stops at `// cnd-alloc-ok`
+/// functions: they are vouched off the steady-state batch path, and an
+/// allocating path can already throw bad_alloc — the no-throw contract
+/// only binds the allocation-free steady state the alloc rule proves.
+void check_throw_free(const Model& m, std::vector<Finding>& out) {
+  const std::string rule = "throw-free-hot";
+  std::set<std::pair<std::string, int>> reported;
+  for (std::size_t root = 0; root < m.defs.size(); ++root) {
+    if (!m.defs[root].hot || m.defs[root].throw_ok) continue;
+    std::vector<std::size_t> stack = {root};
+    std::set<std::size_t> visited = {root};
+    while (!stack.empty()) {
+      const std::size_t cur = stack.back();
+      stack.pop_back();
+      const FuncDef& d = m.defs[cur];
+      for (const ThrowSite& s : d.throws) {
+        const auto& ok =
+            m.files[static_cast<std::size_t>(d.file)].ann.throw_ok_lines;
+        if (site_marked(ok, s.line)) continue;
+        if (line_allowed(m, d.file, s.line, rule)) continue;
+        if (!reported.insert({vpath_of(m, d.file), s.line}).second) continue;
+        out.push_back({vpath_of(m, d.file), s.line, rule,
+                       "'" + d.display + "' (reachable from hot '" +
+                           m.defs[root].display + "') can abort the batch: " +
+                           s.what + " — guard at the batch boundary or vouch "
+                           "with `// cnd-throw-ok(<reason>)`"});
+      }
+      for (const CallSite& c : d.calls)
+        for (std::size_t cand : m.candidates(c)) {
+          // Vouched barriers: throw-ok subtrees, and alloc-ok functions —
+          // already off the allocation-free steady state this rule binds.
+          if (m.defs[cand].throw_ok || m.defs[cand].alloc_ok) continue;
+          if (visited.insert(cand).second) stack.push_back(cand);
+        }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Drivers
 // ---------------------------------------------------------------------------
@@ -1318,14 +1747,58 @@ int add_file(Model& m, const std::string& vpath, const std::string& text,
   return idx;
 }
 
-std::vector<Finding> run_checks(Model& m) {
+/// Every rule this tool knows, with the one-line description used in SARIF
+/// rule metadata and `--help`.
+const std::vector<std::pair<std::string, std::string>>& rule_catalog() {
+  static const std::vector<std::pair<std::string, std::string>> rules = {
+      {"hot-path-alloc",
+       "cnd-hot roots must not transitively reach heap allocation outside "
+       "cnd-alloc-ok barriers"},
+      {"wait-free",
+       "cnd-wait-free roots must not reach locks, waits, I/O, or allocation "
+       "outside cnd-block-ok barriers"},
+      {"lock-order",
+       "the mutex-acquisition graph must stay acyclic (no ABBA inversions, "
+       "no re-acquisition of a held mutex)"},
+      {"layering-transitive",
+       "call edges must respect the layer DAG even through forward "
+       "declarations"},
+      {"rng-confinement",
+       "std distributions and raw engines live in src/tensor/rng.cpp only"},
+      {"snapshot-completeness",
+       "every data member of a snapshot()/restore() class is referenced in "
+       "both bodies or carries cnd-snapshot: skip(<reason>)"},
+      {"determinism-taint",
+       "no nondeterminism source (clocks, pointer casts/hashes, thread ids, "
+       "unordered containers) reaches an output root outside cnd-det-ok "
+       "barriers"},
+      {"throw-free-hot",
+       "cnd-hot roots must not reach throw/require outside cnd-throw-ok "
+       "barriers"},
+  };
+  return rules;
+}
+
+bool known_rule(const std::string& name) {
+  for (const auto& [r, desc] : rule_catalog())
+    if (r == name) return true;
+  return false;
+}
+
+std::vector<Finding> run_checks(Model& m, const std::string& only_rule = {}) {
   m.index();
   std::vector<Finding> findings;
-  check_hot_paths(m, findings);
-  check_wait_free(m, findings);
-  check_lock_order(m, findings);
-  check_layering(m, findings);
-  check_rng_confinement(m, findings);
+  const auto want = [&](std::string_view r) {
+    return only_rule.empty() || only_rule == r;
+  };
+  if (want("hot-path-alloc")) check_hot_paths(m, findings);
+  if (want("wait-free")) check_wait_free(m, findings);
+  if (want("lock-order")) check_lock_order(m, findings);
+  if (want("layering-transitive")) check_layering(m, findings);
+  if (want("rng-confinement")) check_rng_confinement(m, findings);
+  if (want("snapshot-completeness")) check_snapshot_completeness(m, findings);
+  if (want("determinism-taint")) check_determinism_taint(m, findings);
+  if (want("throw-free-hot")) check_throw_free(m, findings);
   std::sort(findings.begin(), findings.end());
   return findings;
 }
@@ -1334,6 +1807,89 @@ void print_findings(const std::vector<Finding>& findings) {
   for (const Finding& f : findings)
     std::printf("%s:%d: %s: %s\n", f.file.c_str(), f.line, f.rule.c_str(),
                 f.message.c_str());
+}
+
+/// One machine-readable summary line (consumed by check_determinism.sh):
+/// total finding count plus a per-rule breakdown.
+void print_json_summary(const std::vector<Finding>& findings) {
+  std::map<std::string, std::size_t> counts;
+  for (const auto& [r, desc] : rule_catalog()) counts[r] = 0;
+  for (const Finding& f : findings) ++counts[f.rule];
+  std::string line = "{\"tool\":\"cnd_analyze\",\"findings\":" +
+                     std::to_string(findings.size()) + ",\"rules\":{";
+  bool first = true;
+  for (const auto& [r, n] : counts) {
+    if (!first) line += ",";
+    first = false;
+    line += "\"" + r + "\":" + std::to_string(n);
+  }
+  line += "}}";
+  std::printf("%s\n", line.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// SARIF 2.1.0 output (tools/check_sarif.py validates the shape in CI)
+// ---------------------------------------------------------------------------
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+bool write_sarif(const fs::path& path, const std::vector<Finding>& findings) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  os << "{\n"
+     << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n    {\n"
+     << "      \"tool\": {\n        \"driver\": {\n"
+     << "          \"name\": \"cnd_analyze\",\n"
+     << "          \"informationUri\": "
+        "\"docs/STATIC_ANALYSIS.md\",\n"
+     << "          \"rules\": [\n";
+  bool first = true;
+  for (const auto& [r, desc] : rule_catalog()) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "            {\"id\": \"" << json_escape(r)
+       << "\", \"shortDescription\": {\"text\": \"" << json_escape(desc)
+       << "\"}}";
+  }
+  os << "\n          ]\n        }\n      },\n      \"results\": [\n";
+  first = true;
+  for (const Finding& f : findings) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "        {\"ruleId\": \"" << json_escape(f.rule)
+       << "\", \"level\": \"error\", \"message\": {\"text\": \""
+       << json_escape(f.message)
+       << "\"}, \"locations\": [{\"physicalLocation\": "
+          "{\"artifactLocation\": {\"uri\": \""
+       << json_escape(f.file) << "\"}, \"region\": {\"startLine\": "
+       << (f.line > 0 ? f.line : 1) << "}}}]}";
+  }
+  os << "\n      ]\n    }\n  ]\n}\n";
+  os.flush();
+  return os.good();
 }
 
 /// Pull every `"file": "…"` value out of compile_commands.json. The format
@@ -1367,8 +1923,15 @@ bool skip_vpath(const std::string& vpath) {
          vpath.rfind("build/", 0) == 0;
 }
 
+struct TreeOptions {
+  bool list_hot = false;
+  bool json_summary = false;
+  std::string only_rule;   // empty = all rules
+  std::string sarif_path;  // empty = no SARIF output
+};
+
 int run_tree(const fs::path& compile_commands, const fs::path& root,
-             bool list_hot) {
+             const TreeOptions& opt) {
   std::string json;
   if (!read_file(compile_commands, json)) {
     std::fprintf(stderr, "cnd_analyze: cannot read %s\n",
@@ -1417,7 +1980,7 @@ int run_tree(const fs::path& compile_commands, const fs::path& root,
     add_file(m, vpath, text, vpath.rfind("src/", 0) == 0);
   }
 
-  const std::vector<Finding> findings = run_checks(m);
+  const std::vector<Finding> findings = run_checks(m, opt.only_rule);
 
   std::size_t hot = 0, barriers = 0, wait_free = 0, block_barriers = 0;
   for (const FuncDef& d : m.defs) {
@@ -1438,7 +2001,7 @@ int run_tree(const fs::path& compile_commands, const fs::path& root,
                  "missing or parser regression\n");
     return 2;
   }
-  if (list_hot) {
+  if (opt.list_hot) {
     for (const FuncDef& d : m.defs) {
       if (d.hot)
         std::printf("hot       %s (%s:%d)\n", d.display.c_str(),
@@ -1454,25 +2017,41 @@ int run_tree(const fs::path& compile_commands, const fs::path& root,
         std::printf("block-ok  %s (%s:%d) — %s\n", d.display.c_str(),
                     vpath_of(m, d.file).c_str(), d.line,
                     d.block_reason.c_str());
+      if (d.det_ok)
+        std::printf("det-ok    %s (%s:%d) — %s\n", d.display.c_str(),
+                    vpath_of(m, d.file).c_str(), d.line,
+                    d.det_reason.c_str());
+      if (d.throw_ok)
+        std::printf("throw-ok  %s (%s:%d) — %s\n", d.display.c_str(),
+                    vpath_of(m, d.file).c_str(), d.line,
+                    d.throw_reason.c_str());
     }
   }
   print_findings(findings);
+  if (!opt.sarif_path.empty() &&
+      !write_sarif(opt.sarif_path, findings)) {
+    std::fprintf(stderr, "cnd_analyze: cannot write SARIF to %s\n",
+                 opt.sarif_path.c_str());
+    return 2;
+  }
+  if (opt.json_summary) print_json_summary(findings);
   std::fprintf(stderr,
-               "cnd_analyze: %zu files, %zu functions, %zu hot roots, %zu "
-               "alloc-ok barriers, %zu wait-free roots, %zu block-ok "
-               "barriers, %zu findings\n",
-               m.files.size(), m.defs.size(), hot, barriers, wait_free,
-               block_barriers, findings.size());
+               "cnd_analyze: %zu files, %zu functions, %zu classes, %zu hot "
+               "roots, %zu alloc-ok barriers, %zu wait-free roots, %zu "
+               "block-ok barriers, %zu findings\n",
+               m.files.size(), m.defs.size(), m.classes.size(), hot, barriers,
+               wait_free, block_barriers, findings.size());
   return findings.empty() ? 0 : 1;
 }
 
-int run_selftest(const fs::path& dir) {
+int run_selftest(const fs::path& dir, const std::string& sarif_path) {
   if (!fs::exists(dir)) {
     std::fprintf(stderr, "cnd_analyze: no such fixture dir %s\n",
                  dir.string().c_str());
     return 2;
   }
   std::size_t failures = 0, cases = 0;
+  std::vector<Finding> all_findings;  // across cases, for --sarif
   for (const char* kind : {"good", "bad"}) {
     const fs::path base = dir / kind;
     if (!fs::exists(base)) continue;
@@ -1511,6 +2090,8 @@ int run_selftest(const fs::path& dir) {
       }
       std::set<std::string> found;
       const std::vector<Finding> findings = run_checks(m);
+      all_findings.insert(all_findings.end(), findings.begin(),
+                          findings.end());
       for (const Finding& f : findings) found.insert(f.rule);
       const std::string label =
           std::string(kind) + "/" + cdir.filename().string();
@@ -1531,6 +2112,12 @@ int run_selftest(const fs::path& dir) {
   }
   std::printf("cnd_analyze selftest: %zu cases, %zu failures\n", cases,
               failures);
+  std::sort(all_findings.begin(), all_findings.end());
+  if (!sarif_path.empty() && !write_sarif(sarif_path, all_findings)) {
+    std::fprintf(stderr, "cnd_analyze: cannot write SARIF to %s\n",
+                 sarif_path.c_str());
+    return 2;
+  }
   return failures == 0 ? 0 : 1;
 }
 
@@ -1538,15 +2125,51 @@ void usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  cnd_analyze --compile-commands <json> --root <repo-root> [--list-hot]\n"
-      "  cnd_analyze --selftest <fixture-dir>\n");
+      "  cnd_analyze --compile-commands <json> --root <repo-root>\n"
+      "              [--rule=<name>] [--sarif <file>] [--json] [--list-hot]\n"
+      "  cnd_analyze --selftest <fixture-dir> [--sarif <file>]\n"
+      "(--help for the rule list and exit codes)\n");
+}
+
+void help() {
+  std::printf(
+      "cnd_analyze — whole-program contract analyzer for the cnd tree.\n"
+      "\n"
+      "usage:\n"
+      "  cnd_analyze --compile-commands <json> --root <repo-root>\n"
+      "              [--rule=<name>] [--sarif <file>] [--json] [--list-hot]\n"
+      "  cnd_analyze --selftest <fixture-dir> [--sarif <file>]\n"
+      "\n"
+      "options:\n"
+      "  --compile-commands <json>  compile_commands.json naming the TUs\n"
+      "  --root <dir>               repo root for repo-relative paths\n"
+      "  --rule=<name>              run a single rule (tree scan only)\n"
+      "  --sarif <file>             also write findings as SARIF 2.1.0\n"
+      "  --json                     append a one-line JSON summary\n"
+      "                             (rule -> finding count) to stdout\n"
+      "  --list-hot                 list annotated roots and barriers\n"
+      "  --selftest <dir>           run the good/bad fixture corpus; with\n"
+      "                             --sarif, the corpus findings are written\n"
+      "                             (schema-checked by tools/check_sarif.py)\n"
+      "\n"
+      "rules:\n");
+  for (const auto& [r, desc] : rule_catalog())
+    std::printf("  %-22s %s\n", r.c_str(), desc.c_str());
+  std::printf(
+      "\n"
+      "exit codes:\n"
+      "  0  clean — no findings (or self-test corpus fully green)\n"
+      "  1  findings were reported (or a self-test case mismatched)\n"
+      "  2  usage error, unreadable input, unknown --rule, unwritable\n"
+      "     --sarif file, or an annotation/parser regression (zero cnd-hot\n"
+      "     or cnd-wait-free roots found in a tree scan)\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string compile_commands, root = ".", selftest;
-  bool list_hot = false;
+  TreeOptions opt;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -1573,17 +2196,46 @@ int main(int argc, char** argv) {
         return 2;
       }
       selftest = v;
+    } else if (arg == "--sarif") {
+      const char* v = next();
+      if (!v) {
+        usage();
+        return 2;
+      }
+      opt.sarif_path = v;
+    } else if (arg.rfind("--sarif=", 0) == 0) {
+      opt.sarif_path = arg.substr(8);
+    } else if (arg == "--rule") {
+      const char* v = next();
+      if (!v) {
+        usage();
+        return 2;
+      }
+      opt.only_rule = v;
+    } else if (arg.rfind("--rule=", 0) == 0) {
+      opt.only_rule = arg.substr(7);
+    } else if (arg == "--json") {
+      opt.json_summary = true;
     } else if (arg == "--list-hot") {
-      list_hot = true;
+      opt.list_hot = true;
+    } else if (arg == "--help" || arg == "-h") {
+      help();
+      return 0;
     } else {
       usage();
-      return arg == "--help" || arg == "-h" ? 0 : 2;
+      return 2;
     }
   }
-  if (!selftest.empty()) return run_selftest(selftest);
+  if (!opt.only_rule.empty() && !known_rule(opt.only_rule)) {
+    std::fprintf(stderr,
+                 "cnd_analyze: unknown rule '%s' (--help lists them)\n",
+                 opt.only_rule.c_str());
+    return 2;
+  }
+  if (!selftest.empty()) return run_selftest(selftest, opt.sarif_path);
   if (compile_commands.empty()) {
     usage();
     return 2;
   }
-  return run_tree(compile_commands, root, list_hot);
+  return run_tree(compile_commands, root, opt);
 }

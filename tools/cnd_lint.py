@@ -25,6 +25,10 @@ machine-checked:
   no-unordered-iter Iterating std::unordered_{map,set} has unspecified order;
                     anything that feeds CSV/JSONL output or score ordering
                     must iterate a deterministically ordered container.
+  no-pointer-hash   std::hash over a pointer type folds ASLR into the value,
+                    so two identical runs disagree. First-line textual defense
+                    mirroring cnd_analyze's determinism-taint source; hash a
+                    stable id instead.
   no-float          float arithmetic in the bit-exactness layers (src/tensor,
                     src/linalg, src/nn, src/runtime) — the determinism
                     contract is stated for double accumulation; a float
@@ -55,11 +59,13 @@ Usage:
   cnd_lint.py --root <repo-root>     lint the tree (exit 1 on findings)
   cnd_lint.py --self-test            run the known-good/known-bad corpus
   cnd_lint.py --root . --list-rules  print the rule table
+  cnd_lint.py ... --sarif <file>     also write findings as SARIF 2.1.0
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import re
 import sys
@@ -72,6 +78,7 @@ RULES = {
     "no-std-distribution": "std distribution outside src/tensor/rng.* (non-portable stream)",
     "no-clock": "clock read outside src/obs",
     "no-unordered-iter": "iteration over an unordered container (unspecified order)",
+    "no-pointer-hash": "std::hash over a pointer type (ASLR leaks into the value)",
     "no-float": "float arithmetic in a bit-exactness layer (use double)",
     "no-banned-fn": "banned C function (unbounded/truncating)",
     "no-naked-mutex": "raw std lock primitive outside the annotated wrappers",
@@ -150,6 +157,9 @@ RE_UNORDERED_DECL = re.compile(
 # three-clause for contains `;` so the lazy prefix can never reach its colon.
 RE_RANGE_FOR = re.compile(r"\bfor\s*\([^;()]*?(?<!:):(?!:)\s*([^)]+)\)")
 RE_FLOAT = re.compile(r"\bfloat\b")
+# `hash<...*...>`: std::hash specialized over any pointer type, including
+# pointer-keyed unordered containers spelled with an explicit hasher.
+RE_POINTER_HASH = re.compile(r"\bhash\s*<[^>;{}()]*\*")
 RE_BANNED_FN = re.compile(
     r"\b(sprintf|vsprintf|strcpy|strcat|gets|tmpnam|atoi|atol|atof|asctime|ctime)\s*\("
 )
@@ -311,6 +321,11 @@ def lint_file(vpath: str, text: str) -> list[Finding]:
                    "float in a bit-exactness layer; the determinism contract "
                    "is stated for double accumulation")
 
+        if RE_POINTER_HASH.search(line):
+            report(idx, "no-pointer-hash",
+                   "std::hash over a pointer type folds ASLR into the value; "
+                   "hash a stable id (index, name, flow key) instead")
+
         m = RE_RANGE_FOR.search(line)
         if m:
             seq = m.group(1).strip()
@@ -432,14 +447,46 @@ def lint_tree(root: str) -> list[Finding]:
     return findings
 
 
-def run_self_test(root: str) -> int:
+def write_sarif(path: str, findings: list[Finding]) -> None:
+    """SARIF 2.1.0, same driver shape as cnd_analyze's --sarif so the two
+    files merge cleanly (tools/merge_sarif.py) for the CI upload."""
+    doc = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "cnd_lint",
+                "informationUri": "docs/STATIC_ANALYSIS.md",
+                "rules": [{"id": rule, "shortDescription": {"text": desc}}
+                          for rule, desc in RULES.items()],
+            }},
+            "results": [{
+                "ruleId": f.rule,
+                "level": "error",
+                "message": {"text": f.message},
+                "locations": [{"physicalLocation": {
+                    "artifactLocation": {"uri": f.path},
+                    "region": {"startLine": max(f.line, 1)},
+                }}],
+            } for f in findings],
+        }],
+    }
+    with open(path, "w", encoding="utf-8") as fp:
+        json.dump(doc, fp, indent=2)
+        fp.write("\n")
+
+
+def run_self_test(root: str, sarif_path: str | None = None) -> int:
     """Corpus check: every file under tools/lint_selftest/good lints clean;
     every file under tools/lint_selftest/bad trips exactly the rules named in
     its `// cnd-lint-expect:` header. Files choose the path rules see via
-    `// cnd-lint-path:` (defaults to src/core/<filename>)."""
+    `// cnd-lint-path:` (defaults to src/core/<filename>). With --sarif the
+    corpus findings are written out, giving the SARIF schema check a
+    guaranteed-non-empty results array."""
     corpus = os.path.join(root, "tools", "lint_selftest")
     failures = 0
     cases = 0
+    all_findings: list[Finding] = []
     for kind in ("good", "bad"):
         base = os.path.join(corpus, kind)
         if not os.path.isdir(base):
@@ -454,7 +501,9 @@ def run_self_test(root: str) -> int:
                 text = f.read()
             mpath = RE_VPATH.search(text)
             vpath = mpath.group(1) if mpath else f"src/core/{fn}"
-            got = {f.rule for f in lint_file(vpath, text)}
+            case_findings = lint_file(vpath, text)
+            all_findings.extend(case_findings)
+            got = {f.rule for f in case_findings}
             if kind == "good":
                 if got:
                     print(f"SELF-TEST FAIL {fn}: expected clean, got {sorted(got)}")
@@ -471,6 +520,9 @@ def run_self_test(root: str) -> int:
                     print(f"SELF-TEST FAIL {fn}: expected {sorted(expected)}, "
                           f"got {sorted(got)}")
                     failures += 1
+    if sarif_path:
+        all_findings.sort(key=lambda f: (f.path, f.line, f.rule))
+        write_sarif(sarif_path, all_findings)
     if failures:
         print(f"self-test: {failures} of {cases} corpus cases failed")
         return 1
@@ -484,6 +536,8 @@ def main() -> int:
     ap.add_argument("--self-test", action="store_true",
                     help="run the lint_selftest corpus instead of the tree")
     ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("--sarif", metavar="FILE",
+                    help="also write findings as SARIF 2.1.0")
     args = ap.parse_args()
 
     if args.list_rules:
@@ -493,11 +547,13 @@ def main() -> int:
 
     root = os.path.abspath(args.root)
     if args.self_test:
-        return run_self_test(root)
+        return run_self_test(root, args.sarif)
 
     findings = lint_tree(root)
     for f in findings:
         print(f)
+    if args.sarif:
+        write_sarif(args.sarif, findings)
     if findings:
         print(f"cnd_lint: {len(findings)} finding(s)")
         return 1

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Merge SARIF 2.1.0 files by concatenating their runs arrays.
+
+SARIF is multi-run by design — one run per tool — so merging cnd_analyze's
+and cnd_lint's reports is just `runs = sum of inputs' runs`; each keeps its
+own driver metadata and rule table. CI merges the two files and uploads one
+artifact (github/codeql-action/upload-sarif takes a single file per
+category).
+
+Usage:
+  merge_sarif.py -o merged.sarif a.sarif b.sarif [...]
+
+Exit codes: 0 merged; 2 unreadable/malformed input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("-o", "--output", required=True, help="merged SARIF file")
+    ap.add_argument("inputs", nargs="+", help="SARIF files to merge")
+    args = ap.parse_args()
+
+    runs = []
+    for path in args.inputs:
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"merge_sarif: {path}: {e}", file=sys.stderr)
+            return 2
+        if not isinstance(doc, dict) or not isinstance(doc.get("runs"), list):
+            print(f"merge_sarif: {path}: no runs array", file=sys.stderr)
+            return 2
+        runs.extend(doc["runs"])
+
+    merged = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": runs,
+    }
+    with open(args.output, "w", encoding="utf-8") as f:
+        json.dump(merged, f, indent=2)
+        f.write("\n")
+    results = sum(len(r.get("results", [])) for r in runs)
+    print(f"merge_sarif: {args.output}: {len(runs)} run(s), "
+          f"{results} result(s) from {len(args.inputs)} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
